@@ -1,0 +1,20 @@
+"""Shared campaign fixture for the benchmark/figure-regeneration suite.
+
+The full experiment grid is expensive (dozens of multi-hour simulations),
+so it runs once per pytest session and every figure bench reads from it.
+``REPRO_BENCH_REPS`` scales the repetition count (default 4; the paper
+effectively used dozens per cell over a year).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_campaign
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    reps = int(os.environ.get("REPRO_BENCH_REPS", "4"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+    return run_campaign(reps=reps, campaign_seed=seed)

@@ -1,0 +1,77 @@
+"""Figure 3 — TTC decomposition (Tw / Tx / Ts) per experiment.
+
+Regenerates the four decomposition panels and asserts the paper's
+component-level findings:
+
+* Ts is consistent across strategies, proportional to the number of
+  tasks, and a small share of TTC (by experimental design);
+* Tx is set by the application (~15 min for early binding's fully
+  concurrent pilot) and is larger for late binding (1/3 the cores);
+* Tw is the component with the most variation and the dominant
+  contributor to TTC differences.
+"""
+
+import numpy as np
+
+from repro.experiments import cell_stats, component_shares, render_figure3
+from repro.skeleton import PAPER_TASK_COUNTS
+
+
+def test_bench_fig3(campaign, benchmark):
+    print()
+    for exp_id in (1, 2, 3, 4):
+        print(render_figure3(campaign, exp_id))
+        print()
+
+    # --- Ts: grows with task count, consistent across strategies -----------
+    for exp_id in (1, 3):
+        ts = [
+            cell_stats(campaign, exp_id, n, "ts").mean
+            for n in PAPER_TASK_COUNTS
+        ]
+        assert all(b >= a for a, b in zip(ts, ts[1:])), (
+            f"Ts should be non-decreasing in #tasks (exp {exp_id}): {ts}"
+        )
+        # small share of TTC by design (1 MB in / 2 KB out per task)
+        ttc = [
+            cell_stats(campaign, exp_id, n, "ttc").mean
+            for n in PAPER_TASK_COUNTS
+        ]
+        assert all(s < 0.45 * t for s, t in zip(ts, ttc))
+    ts1 = np.mean([cell_stats(campaign, 1, n, "ts").mean
+                   for n in PAPER_TASK_COUNTS])
+    ts3 = np.mean([cell_stats(campaign, 3, n, "ts").mean
+                   for n in PAPER_TASK_COUNTS])
+    assert 0.5 < ts1 / ts3 < 2.0, "Ts should be consistent across strategies"
+
+    # --- Tx: ~task duration for early binding; larger for late binding -----
+    for n in PAPER_TASK_COUNTS:
+        tx_early = cell_stats(campaign, 1, n, "tx").mean
+        assert 900 <= tx_early < 2000, (
+            f"early-binding Tx should be ~1 task duration, got {tx_early}"
+        )
+    tx_early_mean = np.mean([cell_stats(campaign, 1, n, "tx").mean
+                             for n in PAPER_TASK_COUNTS])
+    tx_late_mean = np.mean([cell_stats(campaign, 3, n, "tx").mean
+                            for n in PAPER_TASK_COUNTS])
+    assert tx_late_mean > tx_early_mean * 1.2, (
+        "late binding (1/3 cores per pilot) should lengthen Tx"
+    )
+
+    # --- Tw: dominant and most variable component ---------------------------
+    # For early binding, TTC variation is driven by Tw variation: their
+    # correlation across runs is strong (Fig 3a/b: same line shape).
+    early_runs = [r for r in campaign.runs if r.exp_id in (1, 2)]
+    ttcs = np.array([r.ttc for r in early_runs])
+    tws = np.array([r.tw for r in early_runs])
+    corr = np.corrcoef(ttcs, tws)[0, 1]
+    assert corr > 0.95, f"early-binding TTC should track Tw (corr={corr:.3f})"
+
+    # Tw's run-to-run variance exceeds every other component's.
+    for attr in ("tx", "ts", "trp"):
+        comp = np.array([getattr(r, attr) for r in early_runs])
+        assert tws.std() > comp.std(), (
+            f"Tw should vary more than {attr} for early binding"
+        )
+
+    benchmark(component_shares, campaign, 3)

@@ -1,0 +1,50 @@
+"""Figure 4 — run-to-run TTC variability: early vs late binding.
+
+Regenerates the error-bar comparison: the early-binding single-pilot
+strategy shows large run-to-run spread (the pilot rides one resource's
+heavy-tailed queue), while late binding over three pilots is consistent
+(effectively sampling the minimum of three queue waits).
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    cell_stats,
+    render_figure4,
+    tw_range,
+    variability_ratio,
+)
+from repro.skeleton import PAPER_TASK_COUNTS
+
+
+def test_bench_fig4(campaign, benchmark):
+    print()
+    print(render_figure4(campaign))
+
+    # Early binding's error bars dwarf late binding's on average.
+    ratio = variability_ratio(campaign, early_exp=1, late_exp=3)
+    print(f"\nmean std ratio (early/late): {ratio:.1f}")
+    assert ratio > 1.5, f"expected early >> late variability, got {ratio:.2f}"
+
+    # Same conclusion for the Gaussian workloads.
+    ratio_g = variability_ratio(campaign, early_exp=2, late_exp=4)
+    assert ratio_g > 1.5
+
+    # The Tw ranges mirror the paper's: late binding compresses both the
+    # floor and (especially) the ceiling of observed waits.
+    early_lo, early_hi = tw_range(campaign, [1, 2])
+    late_lo, late_hi = tw_range(campaign, [3, 4])
+    print(
+        f"Tw range: early [{early_lo:.0f}, {early_hi:.0f}]s, "
+        f"late [{late_lo:.0f}, {late_hi:.0f}]s"
+    )
+    assert late_hi < early_hi, "late binding should cap the worst-case Tw"
+
+    # Pooled std across sizes, as a single-number comparison.
+    early_stds = [cell_stats(campaign, 1, n, "ttc").std
+                  for n in PAPER_TASK_COUNTS]
+    late_stds = [cell_stats(campaign, 3, n, "ttc").std
+                 for n in PAPER_TASK_COUNTS]
+    assert float(np.mean(early_stds)) > float(np.mean(late_stds))
+
+    benchmark(render_figure4, campaign)

@@ -1,0 +1,67 @@
+"""Middleware micro-benchmarks: the substrate's own performance.
+
+Not a paper figure — these time the simulator and middleware hot paths
+(a full 256-task execution, a batch scheduler pass under a deep queue,
+the trace-to-TTC decomposition) so regressions in the substrate are
+caught by the benchmark suite.
+"""
+
+from repro.cluster import BatchJob, EasyBackfillScheduler, SchedulerView
+from repro.core import decompose
+from repro.experiments import TABLE1, run_single
+
+
+def test_bench_full_execution(benchmark):
+    """Wall time to simulate one late-binding 256-task execution."""
+    counter = iter(range(10_000))
+
+    def one_run():
+        return run_single(TABLE1[3], 256, rep=next(counter), campaign_seed=99)
+
+    result = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert result.units_done == 256
+
+
+def test_bench_easy_backfill_pass(benchmark):
+    """One EASY scheduling pass over a 200-deep queue."""
+    pending = [
+        BatchJob(cores=(i % 64) + 1, runtime=3600, walltime=7200)
+        for i in range(200)
+    ]
+    running = [
+        (BatchJob(cores=128, runtime=3600, walltime=7200), float(i * 60))
+        for i in range(50)
+    ]
+    view = SchedulerView(
+        now=0.0,
+        free_cores=512,
+        total_cores=8192,
+        pending=tuple(pending),
+        running=tuple(running),
+    )
+    scheduler = EasyBackfillScheduler()
+    picks = benchmark(scheduler.select, view)
+    assert picks  # something schedulable in a 512-core hole
+
+
+def test_bench_decomposition(campaign, benchmark):
+    """TTC decomposition from instrumented histories (analysis hot path)."""
+    # Re-run a small execution to get pilots/units with histories.
+    from repro.core import PlannerConfig, Binding
+    from repro.experiments import build_environment
+    from repro.skeleton import SkeletonAPI, paper_skeleton
+
+    env = build_environment(seed=123)
+    env.warm_up(3600)
+    report = env.execution_manager.execute(
+        SkeletonAPI(paper_skeleton(128, gaussian=False), seed=1),
+        PlannerConfig(binding=Binding.LATE, n_pilots=3),
+    )
+    d = benchmark(
+        decompose,
+        report.pilots,
+        report.units,
+        report.decomposition.t_start,
+        report.decomposition.t_end,
+    )
+    assert d.units_done == 128

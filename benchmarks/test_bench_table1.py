@@ -1,0 +1,58 @@
+"""Table I — the experiment/strategy configuration matrix.
+
+Validates that the planner derives exactly the Table I strategies from
+the paper's decision subsets, prints the rendered table, and benchmarks
+one strategy derivation (the planner is on the middleware's hot path).
+"""
+
+import math
+
+from repro.core import Binding, PlannerConfig, derive_strategy
+from repro.experiments import TABLE1, build_environment, render_table1
+from repro.skeleton import SkeletonAPI, paper_skeleton
+
+
+def test_bench_table1(benchmark):
+    env = build_environment(seed=1)
+    env.warm_up(3600)
+
+    # Validate every Table I row against the planner's derivation.
+    for exp_id, spec in TABLE1.items():
+        for n_tasks in (8, 256, 2048):
+            req = SkeletonAPI(
+                paper_skeleton(n_tasks, gaussian=spec.gaussian), seed=0
+            ).requirements()
+            config = PlannerConfig(
+                binding=spec.binding,
+                unit_scheduler=spec.unit_scheduler,
+                n_pilots=spec.n_pilots,
+            )
+            strategy = derive_strategy(req, env.bundle, config)
+            assert strategy.binding is spec.binding
+            assert strategy.unit_scheduler == spec.unit_scheduler
+            assert strategy.n_pilots == spec.n_pilots
+            # Table I pilot sizing: #tasks (early) or #tasks/#pilots (late)
+            expected = math.ceil(n_tasks / spec.n_pilots)
+            assert strategy.pilot_cores == expected
+            assert len(strategy.resources) == spec.n_pilots
+
+    # Early walltime = Tx+Ts+Trp; late = 3x that (modulo rounding).
+    req = SkeletonAPI(paper_skeleton(256, gaussian=False), seed=0).requirements()
+    early = derive_strategy(
+        req, env.bundle, PlannerConfig(binding=Binding.EARLY, n_pilots=1)
+    )
+    late = derive_strategy(
+        req, env.bundle, PlannerConfig(binding=Binding.LATE, n_pilots=3)
+    )
+    assert 2.0 < late.pilot_walltime_min / early.pilot_walltime_min < 4.5
+
+    print()
+    print(render_table1())
+
+    def derive_once():
+        return derive_strategy(
+            req, env.bundle, PlannerConfig(binding=Binding.LATE, n_pilots=3)
+        )
+
+    result = benchmark(derive_once)
+    assert result.n_pilots == 3

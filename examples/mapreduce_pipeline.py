@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""An iterative map-reduce pipeline across multiple resources.
+
+Demonstrates the multistage side of the Skeleton abstraction: three
+iterations of a 32-way map + single reduce, with data dependencies
+resolved by the unit manager. Map outputs stage back to the origin and
+flow into the next stage wherever it lands, so stages can hop between
+resources.
+
+Run:  python examples/mapreduce_pipeline.py
+"""
+
+from collections import Counter
+
+from repro.experiments import build_environment
+from repro.skeleton import SkeletonAPI, map_reduce
+
+
+def main() -> None:
+    env = build_environment(seed=2024)
+    env.warm_up(3 * 3600)
+
+    app = map_reduce(
+        n_map_tasks=32,
+        n_reduce_tasks=1,
+        map_duration="gauss(300, 100, 30, 600)",
+        reduce_duration=120.0,
+        input_size=2_000_000,        # 2 MB per map input
+        intermediate_size=200_000,   # 200 KB map outputs
+        output_size=10_000,
+        iterations=3,
+        name="iterative-mapreduce",
+    )
+    skeleton = SkeletonAPI(app, seed=99)
+    print(
+        f"Application: {app.n_tasks} tasks in {len(app.stages)} stage "
+        f"specs x {app.iterations} iterations"
+    )
+
+    report = env.execution_manager.execute(skeleton)
+    print(report.summary())
+
+    # Where did the work land?
+    placement = Counter(
+        u.pilot.resource for u in report.units if u.pilot is not None
+    )
+    print("\nTask placement across resources:")
+    for resource, count in placement.most_common():
+        print(f"  {resource:>16}: {count} tasks")
+
+    # Stage timeline from the instrumented unit histories.
+    print("\nStage timeline (simulated seconds since submission):")
+    t0 = report.decomposition.t_start
+    stages = {}
+    for unit in report.units:
+        stage = unit.description.name.split("/")[1]
+        start = unit.history.timestamp("EXECUTING")
+        end = unit.history.timestamp("DONE")
+        if start is None or end is None:
+            continue
+        lo, hi = stages.get(stage, (float("inf"), 0.0))
+        stages[stage] = (min(lo, start), max(hi, end))
+    for stage, (lo, hi) in sorted(stages.items(), key=lambda kv: kv[1][0]):
+        print(f"  {stage:>12}: {lo - t0:>7.0f} .. {hi - t0:>7.0f}")
+
+    # The reduce of each iteration gates the next iteration's maps.
+    print(
+        "\nNote the strict ordering: each iteration's maps start only "
+        "after the previous reduce."
+    )
+
+
+if __name__ == "__main__":
+    main()

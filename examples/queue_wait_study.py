@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Study queue-wait dynamics through the Bundle interfaces.
+
+Exercises all three bundle interfaces on a live testbed:
+
+* the *query* interface (on-demand utilization/queue snapshots),
+* the *predictive* interface (QBETS-like quantile bounds vs the EWMA
+  point estimate, validated against actually measured pilot waits),
+* the *monitoring* interface (a threshold subscription that fires when
+  a resource's queue backs up).
+
+Run:  python examples/queue_wait_study.py
+"""
+
+from repro.experiments import build_environment
+from repro.pilot import ComputePilotDescription, PilotManager
+
+
+def main() -> None:
+    env = build_environment(seed=77)
+    sim, bundle = env.sim, env.bundle
+
+    # Monitoring: subscribe to congestion events on every resource.
+    alerts = []
+    for name in bundle.resources():
+        bundle.subscribe(
+            name,
+            predicate=lambda snap: snap.compute.queue_length >= 25,
+            callback=lambda uid, snap: alerts.append(
+                (snap.timestamp, snap.name, snap.compute.queue_length)
+            ),
+            dwell_s=300,
+        )
+
+    env.warm_up(8 * 3600)
+
+    # Query: snapshot every resource.
+    print("On-demand snapshots after 8 simulated hours:")
+    header = (
+        f"{'resource':>16} | {'cores':>6} | {'util':>5} | {'queue':>5} | "
+        f"{'policy':>22} | {'predicted wait':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+    for snap in bundle.query_all():
+        c = snap.compute
+        print(
+            f"{snap.name:>16} | {c.total_cores:>6} | {c.utilization:>5.2f} | "
+            f"{c.queue_length:>5} | {c.scheduler_policy:>22} | "
+            f"{c.setup_time_estimate:>13.0f}s"
+        )
+
+    # Prediction vs measurement: submit probe pilots, compare.
+    print("\nPredicted vs measured wait for a 128-core, 1-hour pilot:")
+    clusters = {n: bundle.cluster(n) for n in bundle.resources()}
+    pm = PilotManager(sim, clusters)
+    probes = {}
+    for name in bundle.resources():
+        predicted_q = bundle.predict_wait(name, cores=128, mode="quantile")
+        predicted_e = bundle.predict_wait(name, cores=128, mode="ewma")
+        (pilot,) = pm.submit_pilots(
+            ComputePilotDescription(resource=name, cores=128, runtime_min=60)
+        )
+        probes[name] = (pilot, predicted_q, predicted_e)
+    sim.run(until=sim.now + 24 * 3600)
+
+    header = (
+        f"{'resource':>16} | {'quantile bound':>14} | {'ewma':>8} | "
+        f"{'measured':>9} | within bound?"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, (pilot, pq, pe) in probes.items():
+        measured = pilot.queue_wait
+        shown = f"{measured:>8.0f}s" if measured is not None else "   (queued)"
+        ok = "yes" if (measured is not None and measured <= pq) else "no"
+        print(f"{name:>16} | {pq:>13.0f}s | {pe:>7.0f}s | {shown} | {ok}")
+
+    print(f"\nCongestion alerts fired: {len(alerts)}")
+    for t, name, qlen in alerts[:5]:
+        print(f"  t={t / 3600:.1f}h {name}: queue length {qlen}")
+
+
+if __name__ == "__main__":
+    main()

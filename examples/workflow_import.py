@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Execute an arbitrary workflow DAG through the middleware.
+
+Builds a Montage-like mosaicking workflow as a plain networkx DiGraph
+(the shape a Swift/Pegasus front end would hand over), inspects its
+level decomposition, and executes it across the simulated resources
+with automatic dependency ordering and data staging.
+
+Run:  python examples/workflow_import.py
+"""
+
+import networkx as nx
+
+from repro.experiments import build_environment
+from repro.skeleton import WorkflowAPI, partition_levels
+
+
+def montage_like(n_tiles: int = 8) -> nx.DiGraph:
+    """project (xN) -> diff (xN-1) -> fit -> background (xN) -> mosaic."""
+    g = nx.DiGraph()
+    for i in range(n_tiles):
+        g.add_node(f"project{i}", duration=120, input_bytes=4e6,
+                   output_bytes=4e6)
+    for i in range(n_tiles - 1):
+        g.add_node(f"diff{i}", duration=40, output_bytes=5e5)
+        g.add_edge(f"project{i}", f"diff{i}")
+        g.add_edge(f"project{i + 1}", f"diff{i}")
+    g.add_node("fit", duration=60, output_bytes=1e4)
+    for i in range(n_tiles - 1):
+        g.add_edge(f"diff{i}", "fit")
+    for i in range(n_tiles):
+        g.add_node(f"background{i}", duration=30, output_bytes=4e6)
+        g.add_edge("fit", f"background{i}")
+        g.add_edge(f"project{i}", f"background{i}")
+    g.add_node("mosaic", duration=300, cores=4, output_bytes=5e7)
+    for i in range(n_tiles):
+        g.add_edge(f"background{i}", "mosaic")
+    return g
+
+
+def main() -> None:
+    graph = montage_like()
+    print(
+        f"Workflow: {graph.number_of_nodes()} tasks, "
+        f"{graph.number_of_edges()} dependencies"
+    )
+    print("\nLevel decomposition (width = exploitable concurrency):")
+    for k, level in enumerate(partition_levels(graph)):
+        preview = ", ".join(level[:4]) + ("..." if len(level) > 4 else "")
+        print(f"  level {k}: width {len(level):>2}  [{preview}]")
+
+    env = build_environment(seed=77)
+    env.warm_up(2 * 3600)
+    api = WorkflowAPI(graph, name="montage")
+    req = api.requirements()
+    print(
+        f"\nPlanning view: peak width {req.max_stage_width} cores, "
+        f"{req.estimated_compute_seconds:.0f} compute-seconds, "
+        f"{req.total_input_bytes / 1e6:.0f} MB external input"
+    )
+
+    report = env.execution_manager.execute(api)
+    print(f"\n{report.summary()}")
+
+    # Show the critical path: when each level ran.
+    t0 = report.decomposition.t_start
+    by_level = {}
+    for unit in report.units:
+        level = next(
+            k for k, lv in enumerate(partition_levels(graph))
+            if unit.description.name.split("/", 1)[1] in lv
+        )
+        start = unit.history.timestamp("EXECUTING")
+        end = unit.history.timestamp("DONE")
+        if start is None:
+            continue
+        lo, hi = by_level.get(level, (float("inf"), 0.0))
+        by_level[level] = (min(lo, start), max(hi, end or start))
+    print("\nLevel timeline (s since submission):")
+    for level in sorted(by_level):
+        lo, hi = by_level[level]
+        print(f"  level {level}: {lo - t0:>7.0f} .. {hi - t0:>7.0f}")
+
+
+if __name__ == "__main__":
+    main()

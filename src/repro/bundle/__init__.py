@@ -1,0 +1,44 @@
+"""The Bundle resource abstraction.
+
+Uniform characterization of heterogeneous resources (compute / network /
+storage), with on-demand and predictive query modes and a threshold
+monitoring interface, aggregated into shareable resource bundles.
+"""
+
+from .backtest import BacktestResult, backtest_predictor
+from .bundle import BundleManager, ResourceBundle, UnknownResource
+from .discovery import (
+    Constraint,
+    RequirementError,
+    matches,
+    parse_requirements,
+)
+from .monitor import ResourceMonitor, Subscription
+from .prediction import EwmaPredictor, QuantilePredictor, WaitSample
+from .representation import (
+    ComputeRepresentation,
+    NetworkRepresentation,
+    ResourceRepresentation,
+    StorageRepresentation,
+)
+
+__all__ = [
+    "BacktestResult",
+    "BundleManager",
+    "backtest_predictor",
+    "Constraint",
+    "ComputeRepresentation",
+    "EwmaPredictor",
+    "NetworkRepresentation",
+    "QuantilePredictor",
+    "RequirementError",
+    "ResourceBundle",
+    "ResourceMonitor",
+    "ResourceRepresentation",
+    "StorageRepresentation",
+    "Subscription",
+    "UnknownResource",
+    "WaitSample",
+    "matches",
+    "parse_requirements",
+]

@@ -1,0 +1,80 @@
+"""Backtesting the predictive interface against realized waits.
+
+The bundle's queue-wait forecasts drive resource selection, so their
+quality is a first-class property of the middleware. This module
+evaluates a predictor the honest way: rolling forecasts using only
+history available *before* each wait was realized, scored on
+
+* **coverage** — the fraction of realized waits at or under the bound
+  (a q-quantile bound should cover ≥ q of them), and
+* **tightness** — the mean ratio bound/realized on covered samples
+  (an infinitely loose bound has perfect coverage and no value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .prediction import QuantilePredictor, WaitSample
+
+
+@dataclass(frozen=True)
+class BacktestResult:
+    """Rolling-forecast evaluation of one predictor on one history."""
+
+    n_forecasts: int
+    coverage: float          # fraction of realized waits <= bound
+    mean_tightness: float    # mean bound/realized over covered samples
+    mean_bound: float
+    mean_realized: float
+
+    def render(self) -> str:
+        return (
+            f"backtest over {self.n_forecasts} forecasts: "
+            f"coverage {self.coverage:.1%}, "
+            f"mean bound {self.mean_bound:.0f}s vs realized "
+            f"{self.mean_realized:.0f}s "
+            f"(tightness x{self.mean_tightness:.1f})"
+        )
+
+
+def backtest_predictor(
+    history: Sequence[WaitSample],
+    predictor: Optional[QuantilePredictor] = None,
+    warmup: int = 16,
+) -> BacktestResult:
+    """Rolling evaluation: forecast sample i from samples [0, i).
+
+    ``warmup`` samples are consumed before scoring begins (a predictor
+    without history falls back to its prior, which would contaminate
+    the score with the prior's accuracy rather than the method's).
+    """
+    predictor = predictor or QuantilePredictor()
+    samples = list(history)
+    if len(samples) <= warmup:
+        raise ValueError(
+            f"need more than {warmup} samples to backtest, got {len(samples)}"
+        )
+    bounds: List[float] = []
+    realized: List[float] = []
+    for i in range(warmup, len(samples)):
+        _, wait, cores = samples[i]
+        bound = predictor.predict(samples[:i], cores=cores)
+        bounds.append(bound)
+        realized.append(wait)
+    b = np.asarray(bounds)
+    r = np.asarray(realized)
+    covered = b >= r
+    # tightness on covered samples (floor realized at 1 s to avoid blowups)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = b[covered] / np.maximum(1.0, r[covered])
+    return BacktestResult(
+        n_forecasts=len(bounds),
+        coverage=float(covered.mean()),
+        mean_tightness=float(ratios.mean()) if ratios.size else float("nan"),
+        mean_bound=float(b.mean()),
+        mean_realized=float(r.mean()),
+    )

@@ -1,0 +1,125 @@
+"""The bundle discovery interface: requirement-driven bundle creation.
+
+The paper (§III.B) leaves this as future work: "The discovery interface
+will let the user request resources based on abstract requirements so
+that a tailored bundle can be created. A language for specifying
+resource requirements is being developed", citing the compact notation
+of the Tiera storage system. We implement that language:
+
+    compute.total_cores >= 4096; compute.scheduler_policy == easy-backfill
+    network.bandwidth_bytes_per_s >= 5e6; compute.setup_time_estimate < 1800
+
+A requirement spec is a ``;``-separated list of constraints. Each
+constraint compares a dotted attribute path of the uniform resource
+representation (:class:`~repro.bundle.representation.ResourceRepresentation`)
+against a literal using ``==  !=  >=  <=  >  <``. Numeric comparisons are
+used when the literal parses as a number; string equality otherwise. No
+``eval`` is involved — the grammar is parsed explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from .representation import ResourceRepresentation
+
+
+class RequirementError(ValueError):
+    """Raised for unparsable requirement specs or unknown attributes."""
+
+
+_CONSTRAINT_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_.]*)\s*(==|!=|>=|<=|>|<)\s*(.+?)\s*$"
+)
+
+#: attribute roots users may address.
+_ALLOWED_ROOTS = ("name", "timestamp", "compute", "network", "storage")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One parsed requirement: <path> <op> <literal>."""
+
+    path: str
+    op: str
+    literal: "float | str"
+
+    def evaluate(self, snapshot: ResourceRepresentation) -> bool:
+        value = _resolve(snapshot, self.path)
+        other = self.literal
+        if isinstance(other, float):
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise RequirementError(
+                    f"attribute {self.path!r} is not numeric "
+                    f"(got {value!r})"
+                ) from None
+        if self.op == "==":
+            return value == other
+        if self.op == "!=":
+            return value != other
+        if isinstance(other, str):
+            raise RequirementError(
+                f"ordering comparison {self.op!r} needs a numeric literal "
+                f"in {self.path!r}"
+            )
+        if self.op == ">=":
+            return value >= other
+        if self.op == "<=":
+            return value <= other
+        if self.op == ">":
+            return value > other
+        return value < other  # "<"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path} {self.op} {self.literal}"
+
+
+def _resolve(snapshot: ResourceRepresentation, path: str) -> Any:
+    parts = path.split(".")
+    if parts[0] not in _ALLOWED_ROOTS:
+        raise RequirementError(
+            f"unknown attribute root {parts[0]!r}; allowed: {_ALLOWED_ROOTS}"
+        )
+    obj: Any = snapshot
+    for part in parts:
+        if not hasattr(obj, part):
+            raise RequirementError(f"unknown attribute {path!r}")
+        obj = getattr(obj, part)
+    return obj
+
+
+def parse_requirements(spec: str) -> List[Constraint]:
+    """Parse a ``;``-separated requirement spec into constraints."""
+    constraints: List[Constraint] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        m = _CONSTRAINT_RE.match(chunk)
+        if m is None:
+            raise RequirementError(f"cannot parse constraint {chunk!r}")
+        path, op, raw = m.group(1), m.group(2), m.group(3)
+        if raw.startswith("="):
+            # "a >=" backtracks to op=">" literal="=": reject explicitly
+            raise RequirementError(f"cannot parse constraint {chunk!r}")
+        literal: "float | str"
+        try:
+            literal = float(raw)
+        except ValueError:
+            literal = raw.strip("'\"")
+        constraints.append(Constraint(path=path, op=op, literal=literal))
+    if not constraints:
+        raise RequirementError("requirement spec contains no constraints")
+    return constraints
+
+
+def matches(
+    snapshot: ResourceRepresentation,
+    constraints: Sequence[Constraint],
+) -> bool:
+    """True when the snapshot satisfies every constraint."""
+    return all(c.evaluate(snapshot) for c in constraints)

@@ -1,0 +1,226 @@
+"""Command-line interface: run campaigns, regenerate figures, probe queues.
+
+Usage::
+
+    python -m repro campaign --reps 4 --seed 2016 -o campaign.json
+    python -m repro figures campaign.json
+    python -m repro table1
+    python -m repro ablation pilots --reps 3
+    python -m repro probe --resources stampede-sim comet-sim --cores 256
+    python -m repro run --tasks 128 --binding late --pilots 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .cluster import PRESETS
+from .core import Binding, PlannerConfig
+from .experiments import (
+    binding_rationale_study,
+    build_environment,
+    data_affinity_ablation,
+    heterogeneity_ablation,
+    locality_study,
+    emergent_vs_sampled_study,
+    energy_study,
+    nonuniform_tasks_study,
+    pilot_count_sweep,
+    pool_scaling_study,
+    render_ablation,
+    render_all,
+    render_table1,
+    run_campaign,
+    scheduler_ablation,
+)
+from .experiments import calibrate_all, render_calibration
+from .experiments.io import load_campaign, save_campaign
+from .pilot import ComputePilotDescription, PilotManager
+from .skeleton import PAPER_TASK_COUNTS, SkeletonAPI, paper_skeleton
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    sizes = tuple(args.sizes) if args.sizes else PAPER_TASK_COUNTS
+    result = run_campaign(
+        experiments=tuple(args.experiments),
+        task_counts=sizes,
+        reps=args.reps,
+        campaign_seed=args.seed,
+        verbose=not args.quiet,
+    )
+    if args.output:
+        save_campaign(result, args.output)
+        print(f"saved {len(result.runs)} runs to {args.output}")
+    else:
+        print(render_all(result))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    result = load_campaign(args.campaign)
+    print(render_all(result))
+    return 0
+
+
+_ABLATIONS = {
+    "pilots": (pilot_count_sweep, "TTC vs number of pilots"),
+    "scheduler": (scheduler_ablation, "backfill vs round-robin"),
+    "heterogeneity": (heterogeneity_ablation, "diverse vs homogeneous pool"),
+    "data": (data_affinity_ablation, "data-aware resource selection"),
+    "pool": (pool_scaling_study, "17-resource synthetic pool scaling"),
+    "nonuniform": (nonuniform_tasks_study, "mixed 1-16-core task sizes"),
+    "binding": (binding_rationale_study, "the couplings Table I discards"),
+    "energy": (energy_study, "TTC vs energy per strategy"),
+    "locality": (locality_study, "data-locality unit scheduling"),
+}
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    if args.study == "waits":
+        print(emergent_vs_sampled_study(n_pairs=max(4, args.reps * 3)).render())
+        return 0
+    fn, title = _ABLATIONS[args.study]
+    points = fn(reps=args.reps)
+    print(render_ablation(f"Ablation — {title}", points))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    results = calibrate_all(seed=args.seed, hours=args.hours)
+    print(render_calibration(results))
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    env = build_environment(seed=args.seed, resources=args.resources or None)
+    env.warm_up(args.warmup_hours * 3600.0)
+    print(f"Queue state after {args.warmup_hours:.1f} simulated hours:")
+    for snap in env.bundle.query_all():
+        c = snap.compute
+        print(
+            f"  {snap.name:>16}: util {c.utilization:.2f}, queue "
+            f"{c.queue_length}, predicted wait {c.setup_time_estimate:.0f}s"
+        )
+    clusters = {n: env.bundle.cluster(n) for n in env.bundle.resources()}
+    pm = PilotManager(env.sim, clusters)
+    pilots = []
+    for name in env.bundle.resources():
+        pilots += pm.submit_pilots(
+            ComputePilotDescription(
+                resource=name, cores=args.cores, runtime_min=60
+            )
+        )
+    env.sim.run(until=env.sim.now + 48 * 3600)
+    print(f"\nMeasured wait for a {args.cores}-core probe pilot:")
+    for p in pilots:
+        wait = p.queue_wait
+        shown = f"{wait:.0f}s" if wait is not None else "never started (48h)"
+        print(f"  {p.resource:>16}: {shown}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    env = build_environment(seed=args.seed)
+    env.warm_up(args.warmup_hours * 3600.0)
+    skeleton = SkeletonAPI(
+        paper_skeleton(args.tasks, gaussian=args.gaussian), seed=args.seed
+    )
+    binding = Binding.LATE if args.binding == "late" else Binding.EARLY
+    config = PlannerConfig(
+        binding=binding,
+        n_pilots=args.pilots,
+        unit_scheduler="direct" if binding is Binding.EARLY else "backfill",
+    )
+    report = env.execution_manager.execute(skeleton, config)
+    print(report.strategy.describe())
+    print()
+    print(report.summary())
+    if args.timeline:
+        from .core import render_report_timeline
+
+        print()
+        print(render_report_timeline(report))
+    if args.save:
+        from .core import save_session
+
+        save_session(report, args.save)
+        print(f"\nsession saved to {args.save}")
+    return 0 if report.succeeded else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIMES middleware reproduction — experiment driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table I strategy matrix")
+
+    p = sub.add_parser("campaign", help="run the Table I experiment grid")
+    p.add_argument("--experiments", type=int, nargs="+", default=[1, 2, 3, 4])
+    p.add_argument("--sizes", type=int, nargs="*", default=None,
+                   help="task counts (default: the paper's 8..2048)")
+    p.add_argument("--reps", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("-o", "--output", default=None,
+                   help="save results to this JSON file")
+    p.add_argument("-q", "--quiet", action="store_true")
+
+    p = sub.add_parser("figures", help="render figures from a saved campaign")
+    p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+
+    p = sub.add_parser("ablation", help="run one ablation study")
+    p.add_argument("study", choices=sorted(list(_ABLATIONS) + ["waits"]))
+    p.add_argument("--reps", type=int, default=4)
+
+    p = sub.add_parser("calibrate", help="validate the substrate calibration")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hours", type=float, default=24.0)
+
+    p = sub.add_parser("probe", help="probe queue waits with pilot jobs")
+    p.add_argument("--resources", nargs="*", default=None,
+                   choices=sorted(PRESETS), help="default: all five")
+    p.add_argument("--cores", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--warmup-hours", type=float, default=6.0)
+
+    p = sub.add_parser("run", help="execute one skeleton application")
+    p.add_argument("--tasks", type=int, default=128,
+                   choices=sorted(PAPER_TASK_COUNTS))
+    p.add_argument("--binding", choices=("early", "late"), default="late")
+    p.add_argument("--pilots", type=int, default=3)
+    p.add_argument("--gaussian", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--warmup-hours", type=float, default=4.0)
+    p.add_argument("--timeline", action="store_true",
+                   help="print an ASCII execution timeline")
+    p.add_argument("--save", default=None,
+                   help="save the execution session to this JSON file")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "campaign": _cmd_campaign,
+        "figures": _cmd_figures,
+        "ablation": _cmd_ablation,
+        "calibrate": _cmd_calibrate,
+        "probe": _cmd_probe,
+        "run": _cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""The simulated HPC resource: queue + node pool + batch scheduler.
+
+A :class:`Cluster` accepts :class:`~repro.cluster.job.BatchJob`
+submissions, keeps them in a priority-ordered pending queue, and asks its
+scheduling policy which to start whenever the state changes (a submission
+arrives or a job ends). Started jobs hold node cores until they complete
+or hit their walltime limit.
+
+Every transition is written to the simulation trace, and completed-job
+wait times are kept in a history ring that the Bundle layer uses for its
+predictive interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..des import ScheduledEvent, Simulation
+from .job import BatchJob, JobState
+from .nodes import NodePool
+from .schedulers import BatchScheduler, EasyBackfillScheduler, SchedulerView
+from .schedulers.base import PriorityFn
+
+
+class SubmissionError(Exception):
+    """Raised when a job can never run on this resource."""
+
+
+class Cluster:
+    """A space-shared HPC resource driven by the simulation kernel."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        nodes: int,
+        cores_per_node: int,
+        scheduler: Optional[BatchScheduler] = None,
+        priority_fn: Optional[PriorityFn] = None,
+        submit_overhead: float = 1.0,
+        dispatch_interval: float = 0.0,
+        wait_history_size: int = 512,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.pool = NodePool(nodes, cores_per_node)
+        self.scheduler = scheduler or EasyBackfillScheduler()
+        self.priority_fn = priority_fn
+        self.submit_overhead = float(submit_overhead)
+        #: minimum seconds between scheduler passes. Production resource
+        #: managers schedule in periodic cycles (tens of seconds to a few
+        #: minutes); 0 restores pure event-driven dispatch.
+        self.dispatch_interval = float(dispatch_interval)
+        self._last_dispatch = -float("inf")
+
+        self._pending: List[BatchJob] = []
+        self._arrival_order: Dict[int, int] = {}
+        self._arrival_seq = 0
+        self._running: Dict[int, Tuple[BatchJob, float, ScheduledEvent]] = {}
+        self._dispatch_scheduled = False
+        self._offline_until: float = -float("inf")
+        self._listeners: List[Callable[[BatchJob, JobState, JobState], None]] = []
+
+        #: (finish_time, wait_seconds, cores) of recently started jobs.
+        self.wait_history: Deque[Tuple[float, float, int]] = deque(
+            maxlen=wait_history_size
+        )
+        self.completed_jobs = 0
+        self.killed_jobs = 0
+
+    # -- public interface ------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.pool.total_cores
+
+    @property
+    def free_cores(self) -> int:
+        return self.pool.free_cores
+
+    @property
+    def utilization(self) -> float:
+        return self.pool.utilization
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    @property
+    def queued_core_seconds(self) -> float:
+        """Work (cores x requested walltime) waiting in the queue."""
+        return sum(j.cores * j.walltime for j in self._pending)
+
+    def queue_composition(self) -> Dict[str, int]:
+        """Pending jobs by kind ("background", "pilot", ...).
+
+        Part of the bundle's resource information: "queue state, queue
+        composition, and types of jobs already scheduled for execution".
+        """
+        out: Dict[str, int] = {}
+        for job in self._pending:
+            out[job.kind] = out.get(job.kind, 0) + 1
+        return out
+
+    def pending_jobs(self) -> List[BatchJob]:
+        return list(self._pending)
+
+    def running_jobs(self) -> List[BatchJob]:
+        return [job for job, _, _ in self._running.values()]
+
+    def add_listener(
+        self, fn: Callable[[BatchJob, JobState, JobState], None]
+    ) -> None:
+        """Observe every job state transition on this resource."""
+        self._listeners.append(fn)
+
+    def submit(self, job: BatchJob) -> BatchJob:
+        """Queue ``job``; it becomes PENDING after the submit overhead."""
+        if job.state is not JobState.NEW:
+            raise SubmissionError(f"{job.name} already submitted ({job.state})")
+        if job.cores > self.pool.total_cores:
+            raise SubmissionError(
+                f"{job.name} requests {job.cores} cores; {self.name} has "
+                f"{self.pool.total_cores}"
+            )
+        self.sim.call_in(self.submit_overhead, self._enqueue, job)
+        return job
+
+    def cancel(self, job: BatchJob) -> None:
+        """Remove a pending job or kill a running one."""
+        if job.state is JobState.PENDING:
+            self._pending.remove(job)
+            self._transition(job, JobState.CANCELLED)
+        elif job.state is JobState.RUNNING:
+            _, _, end_event = self._running.pop(job.uid)
+            self.sim.cancel(end_event)
+            self.pool.free(job.uid)
+            job.end_time = self.sim.now
+            self._transition(job, JobState.CANCELLED)
+            self._schedule_dispatch()
+        elif job.state is JobState.NEW:
+            self._transition(job, JobState.CANCELLED)
+        # cancelling a final job is a no-op
+
+    @property
+    def is_offline(self) -> bool:
+        return self.sim.now < self._offline_until
+
+    def set_offline(self, duration: float) -> None:
+        """Inject an outage: kill every running job, freeze dispatch.
+
+        Running jobs fail immediately (as in an unplanned node or
+        filesystem outage); queued jobs survive and dispatch resumes
+        ``duration`` seconds from now. Repeated calls extend the outage.
+        """
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        self._offline_until = max(
+            self._offline_until, self.sim.now + duration
+        )
+        self.sim.trace.record(
+            self.sim.now, "resource", self.name, "OFFLINE",
+            until=self._offline_until,
+        )
+        for job, _, end_event in list(self._running.values()):
+            self.sim.cancel(end_event)
+            self._running.pop(job.uid)
+            self.pool.free(job.uid)
+            job.end_time = self.sim.now
+            self._transition(job, JobState.FAILED)
+        self.sim.call_at(self._offline_until, self._back_online)
+
+    def _back_online(self) -> None:
+        if self.is_offline:
+            return  # a later outage extended the window
+        self.sim.trace.record(
+            self.sim.now, "resource", self.name, "ONLINE"
+        )
+        self._schedule_dispatch()
+
+    def expected_drain_time(self) -> float:
+        """Crude bound: when would the machine be empty if nothing arrived."""
+        if not self._running:
+            return self.sim.now
+        return max(expected_end for _, expected_end, _ in self._running.values())
+
+    # -- internal machinery ----------------------------------------------------
+
+    def _enqueue(self, job: BatchJob) -> None:
+        if job.state is JobState.CANCELLED:
+            return  # cancelled during the submit overhead window
+        job.submit_time = self.sim.now
+        self._arrival_order[job.uid] = self._arrival_seq
+        self._arrival_seq += 1
+        self._pending.append(job)
+        self._sort_pending()
+        self._transition(job, JobState.PENDING)
+        self._schedule_dispatch()
+
+    def _sort_pending(self) -> None:
+        if self.priority_fn is None:
+            self._pending.sort(key=lambda j: self._arrival_order[j.uid])
+        else:
+            now = self.sim.now
+            self._pending.sort(
+                key=lambda j: (-self.priority_fn(j, now), self._arrival_order[j.uid])
+            )
+
+    def _schedule_dispatch(self) -> None:
+        """Coalesce dispatches: one scheduler pass per cycle at most."""
+        if not self._dispatch_scheduled:
+            self._dispatch_scheduled = True
+            at = max(self.sim.now, self._last_dispatch + self.dispatch_interval)
+            # priority=1 so all same-instant submissions/completions land first
+            self.sim.call_at(at, self._dispatch, priority=1)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if self.is_offline:
+            return  # _back_online re-arms dispatching
+        self._last_dispatch = self.sim.now
+        if not self._pending:
+            return
+        if self.priority_fn is not None:
+            self._sort_pending()
+        view = SchedulerView(
+            now=self.sim.now,
+            free_cores=self.pool.free_cores,
+            total_cores=self.pool.total_cores,
+            pending=tuple(self._pending),
+            running=tuple(
+                (job, expected_end)
+                for job, expected_end, _ in self._running.values()
+            ),
+        )
+        picks = self.scheduler.select(view)
+        seen = set()
+        for job in picks:
+            if job.uid in seen:
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name} picked {job.name} twice"
+                )
+            seen.add(job.uid)
+            self._start(job)
+
+    def _start(self, job: BatchJob) -> None:
+        if job not in self._pending:
+            raise RuntimeError(f"scheduler picked non-pending job {job.name}")
+        self._pending.remove(job)
+        self.pool.allocate(job.uid, job.cores)
+        job.start_time = self.sim.now
+        duration = min(job.runtime, job.walltime)
+        timed_out = job.runtime > job.walltime
+        end_event = self.sim.call_in(duration, self._finish, job, timed_out)
+        expected_end = self.sim.now + job.walltime
+        self._running[job.uid] = (job, expected_end, end_event)
+        self.wait_history.append(
+            (self.sim.now, job.start_time - (job.submit_time or 0.0), job.cores)
+        )
+        self._transition(job, JobState.RUNNING)
+
+    def _finish(self, job: BatchJob, timed_out: bool) -> None:
+        self._running.pop(job.uid)
+        self.pool.free(job.uid)
+        job.end_time = self.sim.now
+        if timed_out:
+            self.killed_jobs += 1
+            self._transition(job, JobState.TIMEOUT)
+        else:
+            self.completed_jobs += 1
+            self._transition(job, JobState.COMPLETED)
+        self._schedule_dispatch()
+
+    def _transition(self, job: BatchJob, new_state: JobState) -> None:
+        old = job.state
+        job.advance(new_state)
+        self.sim.trace.record(
+            self.sim.now,
+            "batch-job",
+            job.name,
+            new_state.value,
+            resource=self.name,
+            cores=job.cores,
+            kind=job.kind,
+        )
+        for fn in list(self._listeners):
+            fn(job, old, new_state)

@@ -1,0 +1,107 @@
+"""Compute-node pool with per-node core accounting.
+
+Jobs request a number of cores and may span nodes (single-core tasks
+dominate the paper's workloads, so core-granular packing is the faithful
+model). The pool tracks per-node free cores for realism and statistics,
+while guaranteeing that any request not exceeding the total free cores
+can be placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node type."""
+
+    cores: int
+    memory_gb: float = 64.0
+
+
+class AllocationError(Exception):
+    """Raised on inconsistent allocate/free calls (a simulator bug)."""
+
+
+class NodePool:
+    """A homogeneous pool of nodes with core-granular allocation."""
+
+    def __init__(self, nodes: int, cores_per_node: int, memory_gb: float = 64.0) -> None:
+        if nodes <= 0 or cores_per_node <= 0:
+            raise ValueError("nodes and cores_per_node must be positive")
+        self.spec = NodeSpec(cores=cores_per_node, memory_gb=memory_gb)
+        self.nodes = nodes
+        self.cores_per_node = cores_per_node
+        self._free: List[int] = [cores_per_node] * nodes
+        self._allocations: Dict[int, List[Tuple[int, int]]] = {}
+        self.free_cores = nodes * cores_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    @property
+    def used_cores(self) -> int:
+        return self.total_cores - self.free_cores
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cores currently allocated, in [0, 1]."""
+        return self.used_cores / self.total_cores
+
+    def can_fit(self, cores: int) -> bool:
+        return cores <= self.free_cores
+
+    def allocate(self, key: int, cores: int) -> List[Tuple[int, int]]:
+        """Allocate ``cores`` for ``key`` (a job uid); returns placements.
+
+        Placement is greedy best-fit: fullest nodes first, which keeps
+        fragmentation low and node-level statistics meaningful.
+        """
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        if key in self._allocations:
+            raise AllocationError(f"key {key} already holds an allocation")
+        if cores > self.free_cores:
+            raise AllocationError(
+                f"cannot allocate {cores} cores; only {self.free_cores} free"
+            )
+        remaining = cores
+        placement: List[Tuple[int, int]] = []
+        # Fullest-first among nodes with any free cores.
+        order = sorted(
+            (i for i in range(self.nodes) if self._free[i] > 0),
+            key=lambda i: self._free[i],
+        )
+        for i in order:
+            if remaining == 0:
+                break
+            take = min(self._free[i], remaining)
+            self._free[i] -= take
+            placement.append((i, take))
+            remaining -= take
+        if remaining:  # cannot happen given the free_cores check
+            raise AllocationError("internal packing inconsistency")
+        self._allocations[key] = placement
+        self.free_cores -= cores
+        return placement
+
+    def free(self, key: int) -> None:
+        """Release the allocation held by ``key``."""
+        placement = self._allocations.pop(key, None)
+        if placement is None:
+            raise AllocationError(f"key {key} holds no allocation")
+        for node, take in placement:
+            self._free[node] += take
+            if self._free[node] > self.cores_per_node:
+                raise AllocationError(f"node {node} over-freed")
+        self.free_cores += sum(take for _, take in placement)
+
+    def allocation_of(self, key: int) -> Optional[List[Tuple[int, int]]]:
+        return self._allocations.get(key)
+
+    def busy_nodes(self) -> int:
+        """Number of nodes with at least one allocated core."""
+        return sum(1 for f in self._free if f < self.cores_per_node)

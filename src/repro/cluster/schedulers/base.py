@@ -1,0 +1,96 @@
+"""Batch-scheduler interface for the simulated resources.
+
+A scheduler is a pure policy: given a read-only view of the resource
+state it returns the ordered list of pending jobs to start *now*. The
+cluster facade owns all mutation (allocation, state transitions, end
+events), so policies stay small and independently testable.
+
+Schedulers plan with *requested* walltimes, never actual runtimes —
+they know exactly what a production resource manager would know.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..job import BatchJob
+
+#: Priority function: larger value = scheduled earlier. Ties broken by
+#: submission order. The default (None) is plain FIFO.
+PriorityFn = Callable[[BatchJob, float], float]
+
+
+@dataclass(frozen=True)
+class SchedulerView:
+    """Read-only snapshot handed to a scheduling policy.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time.
+    free_cores:
+        Cores not allocated to any running job.
+    total_cores:
+        Capacity of the resource.
+    pending:
+        Queued jobs in priority order (head first).
+    running:
+        ``(job, expected_end)`` pairs for running jobs, where
+        ``expected_end = start + walltime`` (the scheduler's knowledge,
+        not the job's hidden runtime).
+    """
+
+    now: float
+    free_cores: int
+    total_cores: int
+    pending: Sequence[BatchJob]
+    running: Sequence[Tuple[BatchJob, float]]
+
+
+class BatchScheduler(abc.ABC):
+    """Base class for batch scheduling policies."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(self, view: SchedulerView) -> List[BatchJob]:
+        """Return pending jobs to start now, in start order.
+
+        Implementations must only pick jobs whose core request fits in the
+        free cores remaining after earlier picks in the same call.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+def shadow_schedule(
+    head_cores: int,
+    free_cores: int,
+    running: Sequence[Tuple[BatchJob, float]],
+) -> Tuple[float, int]:
+    """Compute the EASY-backfill *shadow time* and *extra cores*.
+
+    The shadow time is the earliest time the queue head could start if no
+    further jobs were admitted, assuming running jobs end at their
+    expected (walltime-based) ends. Extra cores are the cores that will
+    be free at the shadow time beyond what the head needs; backfilled
+    jobs that fit within the extra cores can never delay the head,
+    regardless of how long they run.
+
+    Returns ``(shadow_time, extra_cores)``. If the head already fits,
+    shadow time is ``-inf`` and extra is the free cores minus the head's
+    request.
+    """
+    if head_cores <= free_cores:
+        return float("-inf"), free_cores - head_cores
+    available = free_cores
+    ends = sorted(running, key=lambda pair: pair[1])
+    for job, expected_end in ends:
+        available += job.cores
+        if available >= head_cores:
+            return expected_end, available - head_cores
+    # Unreachable when head_cores <= total capacity (enforced at submit).
+    raise ValueError("queue head can never fit on this resource")

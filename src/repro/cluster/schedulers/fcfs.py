@@ -1,0 +1,29 @@
+"""First-come-first-served batch scheduling (no backfill)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..job import BatchJob
+from .base import BatchScheduler, SchedulerView
+
+
+class FcfsScheduler(BatchScheduler):
+    """Start jobs strictly in queue order; stop at the first that won't fit.
+
+    This is the classic space-sharing FCFS policy: the head of the queue
+    blocks everything behind it, so large jobs cause long convoys. It is
+    the pessimistic baseline against which backfilling is compared.
+    """
+
+    name = "fcfs"
+
+    def select(self, view: SchedulerView) -> List[BatchJob]:
+        picks: List[BatchJob] = []
+        free = view.free_cores
+        for job in view.pending:
+            if job.cores > free:
+                break
+            picks.append(job)
+            free -= job.cores
+        return picks

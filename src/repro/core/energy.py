@@ -1,0 +1,113 @@
+"""Energy accounting for execution strategies (paper §V).
+
+The paper lists energy efficiency among the metrics future execution
+strategies must weigh. We implement the standard node-power model used
+in scheduling studies: an allocated core draws ``active_watts`` while a
+unit executes on it and ``idle_watts`` while it sits allocated-but-idle
+inside a pilot (the pilot holds the cores either way — that is the cost
+of the placeholder pattern). Energy is attributed per pilot from the
+instrumented histories, so strategies can be compared on joules as
+directly as on TTC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..pilot import ComputePilot, ComputeUnit, PilotState, UnitState
+from .metrics import Interval
+
+#: defaults representative of 2015-era HPC nodes (per core).
+DEFAULT_ACTIVE_WATTS = 12.0
+DEFAULT_IDLE_WATTS = 6.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Joules consumed by one execution's pilots."""
+
+    active_core_s: float      # core-seconds executing units
+    idle_core_s: float        # core-seconds allocated but idle
+    active_joules: float
+    idle_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.active_joules + self.idle_joules
+
+    @property
+    def total_kwh(self) -> float:
+        return self.total_joules / 3.6e6
+
+    @property
+    def idle_fraction(self) -> float:
+        total = self.active_core_s + self.idle_core_s
+        return self.idle_core_s / total if total else 0.0
+
+
+def _pilot_active_window(
+    pilot: ComputePilot, final_time: Optional[float]
+) -> Optional[Interval]:
+    t0 = pilot.activated_at
+    if t0 is None:
+        return None
+    t1 = None
+    for state in (PilotState.DONE, PilotState.CANCELED, PilotState.FAILED):
+        cand = pilot.history.timestamp(state.value)
+        if cand is not None:
+            t1 = cand if t1 is None else min(t1, cand)
+    if t1 is None:
+        t1 = final_time if final_time is not None else t0
+    return (t0, max(t0, t1))
+
+
+def estimate_energy(
+    pilots: Sequence[ComputePilot],
+    units: Sequence[ComputeUnit],
+    final_time: Optional[float] = None,
+    active_watts: float = DEFAULT_ACTIVE_WATTS,
+    idle_watts: float = DEFAULT_IDLE_WATTS,
+) -> EnergyEstimate:
+    """Attribute core-seconds and joules to the execution's pilots."""
+    if active_watts < 0 or idle_watts < 0:
+        raise ValueError("power draws must be non-negative")
+
+    # Per-pilot busy core-seconds from the units that ran on it.
+    busy_core_s: Dict[str, float] = {}
+    for unit in units:
+        if unit.pilot is None:
+            continue
+        t0 = unit.history.timestamp(UnitState.EXECUTING.value)
+        t1 = unit.history.timestamp(UnitState.STAGING_OUTPUT.value)
+        if t0 is None or t1 is None or t1 < t0:
+            continue
+        busy_core_s[unit.pilot.uid] = (
+            busy_core_s.get(unit.pilot.uid, 0.0) + unit.cores * (t1 - t0)
+        )
+
+    active_core_s = 0.0
+    idle_core_s = 0.0
+    for pilot in pilots:
+        window = _pilot_active_window(pilot, final_time)
+        if window is None:
+            continue
+        allocated = pilot.cores * (window[1] - window[0])
+        busy = min(busy_core_s.get(pilot.uid, 0.0), allocated)
+        active_core_s += busy
+        idle_core_s += allocated - busy
+
+    return EnergyEstimate(
+        active_core_s=active_core_s,
+        idle_core_s=idle_core_s,
+        active_joules=active_core_s * active_watts,
+        idle_joules=idle_core_s * idle_watts,
+    )
+
+
+def report_energy(report, **kwargs) -> EnergyEstimate:
+    """Convenience: energy straight from an ExecutionReport."""
+    return estimate_energy(
+        report.pilots, report.units,
+        final_time=report.decomposition.t_end, **kwargs,
+    )

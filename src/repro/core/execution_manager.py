@@ -1,0 +1,243 @@
+"""The Execution Manager: derives and enacts execution strategies.
+
+The five steps of the paper (§III.D):
+
+1. gather information about the application via the Skeleton API and
+   about resources via the Bundle API;
+2. determine application requirements and resource availability;
+3. derive an execution strategy;
+4. describe and instantiate pilots on the chosen resources;
+5. execute the application on the instantiated pilots.
+
+Tasks are restarted automatically on pilot failure, task outputs are
+staged back to the origin, and all pilots are canceled when every task
+has executed "so as not to waste resources". Every phase is timestamped
+for the TTC decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bundle import ResourceBundle
+from ..des import Process, Simulation
+from ..net import Network
+from ..pilot import (
+    ComputePilot,
+    ComputePilotDescription,
+    ComputeUnit,
+    ComputeUnitDescription,
+    PilotManager,
+    UnitManager,
+    UnitState,
+)
+from ..skeleton import SkeletonAPI
+from .adaptive import AdaptationEvent, AdaptationPolicy, PilotReinforcer
+from .instrumentation import TTCDecomposition, decompose
+from .planner import PlannerConfig, derive_strategy
+from .strategy import ExecutionStrategy
+
+
+@dataclass
+class ExecutionReport:
+    """Everything measured about one application execution."""
+
+    application: str
+    n_tasks: int
+    strategy: ExecutionStrategy
+    decomposition: TTCDecomposition
+    pilots: List[ComputePilot] = field(repr=False, default_factory=list)
+    units: List[ComputeUnit] = field(repr=False, default_factory=list)
+    adaptations: List[AdaptationEvent] = field(default_factory=list)
+
+    @property
+    def ttc(self) -> float:
+        return self.decomposition.ttc
+
+    @property
+    def succeeded(self) -> bool:
+        return self.decomposition.units_done == self.n_tasks
+
+    def summary(self) -> str:
+        d = self.decomposition
+        return (
+            f"{self.application}: {self.n_tasks} tasks, "
+            f"{self.strategy.binding.value}/{self.strategy.unit_scheduler}/"
+            f"{self.strategy.n_pilots}p -> TTC {d.ttc:.0f}s "
+            f"(Tw {d.tw:.0f}s, Tx {d.tx:.0f}s, Ts {d.ts:.0f}s, "
+            f"Trp {d.trp:.0f}s; done {d.units_done}/{self.n_tasks}, "
+            f"restarts {d.restarts})"
+        )
+
+
+class ExecutionError(Exception):
+    """Raised when an execution cannot be set up."""
+
+
+class ExecutionManager:
+    """Couples one or more applications to the resources of a bundle."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: Network,
+        bundle: ResourceBundle,
+        access_schemas: Optional[Dict[str, str]] = None,
+        agent_bootstrap_s: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.bundle = bundle
+        self.access_schemas = access_schemas or {}
+        clusters = {name: bundle.cluster(name) for name in bundle.resources()}
+        self.pilot_manager = PilotManager(
+            sim, clusters, bootstrap_s=agent_bootstrap_s
+        )
+        self.reports: List[ExecutionReport] = []
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(
+        self,
+        skeleton: SkeletonAPI,
+        config: Optional[PlannerConfig] = None,
+        strategy: Optional[ExecutionStrategy] = None,
+        adaptation: Optional[AdaptationPolicy] = None,
+    ) -> Process:
+        """Start an execution; returns a Process whose value is the report.
+
+        Either pass a :class:`PlannerConfig` (the planner derives the
+        strategy, the normal path) or a fully resolved strategy. With an
+        :class:`AdaptationPolicy`, the strategy may be revised during
+        execution (backup pilots on stalled starts).
+        """
+        return self.sim.process(
+            self._run(skeleton, config, strategy, adaptation),
+            name=f"execute/{skeleton.app.name}",
+        )
+
+    def execute(
+        self,
+        skeleton: SkeletonAPI,
+        config: Optional[PlannerConfig] = None,
+        strategy: Optional[ExecutionStrategy] = None,
+        adaptation: Optional[AdaptationPolicy] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ExecutionReport:
+        """Blocking convenience: run the kernel until the execution ends."""
+        proc = self.run(skeleton, config, strategy, adaptation)
+        until = None if timeout_s is None else self.sim.now + timeout_s
+        return self.sim.run_process(proc, until=until)
+
+    # -- the enactment process ----------------------------------------------------------
+
+    def _run(
+        self,
+        skeleton: SkeletonAPI,
+        config: Optional[PlannerConfig],
+        strategy: Optional[ExecutionStrategy],
+        adaptation: Optional[AdaptationPolicy] = None,
+    ):
+        t_start = self.sim.now
+        app_name = skeleton.app.name
+        self.sim.trace.record(t_start, "execution", app_name, "START")
+
+        # Steps 1-2: application and resource information.
+        req = skeleton.requirements()
+
+        # Step 3: strategy derivation.
+        if strategy is None:
+            strategy = derive_strategy(req, self.bundle, config)
+        self.sim.trace.record(
+            self.sim.now, "execution", app_name, "STRATEGY",
+            binding=strategy.binding.value,
+            scheduler=strategy.unit_scheduler,
+            n_pilots=strategy.n_pilots,
+            pilot_cores=strategy.pilot_cores,
+            walltime_min=strategy.pilot_walltime_min,
+            resources=strategy.resources,
+        )
+
+        # Preparation: input files appear at the origin.
+        skeleton.prepare(self.network)
+
+        # Step 4: describe and instantiate pilots.
+        descriptions = [
+            ComputePilotDescription(
+                resource=r,
+                cores=strategy.pilot_cores,
+                runtime_min=strategy.pilot_walltime_min,
+                access_schema=self.access_schemas.get(r, "slurm"),
+            )
+            for r in strategy.resources
+        ]
+        pilots = self.pilot_manager.submit_pilots(descriptions)
+
+        # Step 5: execute the application on the pilots.
+        unit_manager = UnitManager(
+            self.sim, self.network, scheduler=strategy.unit_scheduler
+        )
+        unit_manager.add_pilots(pilots)
+        concrete = skeleton.concrete
+        unit_descs = [
+            ComputeUnitDescription(
+                name=t.uid,
+                duration_s=t.duration,
+                cores=t.cores,
+                input_staging=tuple(f.name for f in t.inputs),
+                output_staging=tuple((f.name, f.size_bytes) for f in t.outputs),
+            )
+            for t in concrete.all_tasks()
+        ]
+        depends = {t.uid: t.depends_on for t in concrete.all_tasks()}
+        units = unit_manager.submit_units(unit_descs, depends_on=depends)
+
+        # Guard: if every pilot dies with units still pending, cancel them so
+        # the execution terminates with a faithful failure report.
+        def on_pilot_final(pilot, state):
+            if all(p.is_final for p in pilots):
+                unit_manager.cancel_units(
+                    [u for u in units if not u.is_final]
+                )
+
+        def attach_guard(pilot):
+            pilot.add_callback(
+                lambda p, state: (
+                    on_pilot_final(p, state) if p.is_final else None
+                )
+            )
+
+        for p in pilots:
+            attach_guard(p)
+
+        # Optional dynamic execution: revise the strategy while it runs.
+        # Backup pilots join the `pilots` list and get the same guard.
+        reinforcer = None
+        if adaptation is not None:
+            reinforcer = PilotReinforcer(
+                self.sim, self.bundle, self.pilot_manager, unit_manager,
+                strategy, pilots, adaptation, self.access_schemas,
+                on_new_pilot=attach_guard,
+            )
+
+        yield unit_manager.wait_units(units)
+        t_end = self.sim.now
+
+        if reinforcer is not None:
+            reinforcer.stop()
+        # Cancel leftover pilots (do not waste allocation).
+        self.pilot_manager.cancel_pilots(pilots)
+        self.sim.trace.record(t_end, "execution", app_name, "END")
+
+        report = ExecutionReport(
+            application=app_name,
+            n_tasks=req.n_tasks,
+            strategy=strategy,
+            decomposition=decompose(pilots, units, t_start, t_end),
+            pilots=pilots,
+            units=units,
+            adaptations=list(reinforcer.events) if reinforcer else [],
+        )
+        self.reports.append(report)
+        return report

@@ -1,0 +1,105 @@
+"""ASCII execution timelines (poor-man's Gantt charts).
+
+The virtual laboratory needs a way to *look* at an execution without a
+plotting stack: which pilot queued how long, when units flowed, where
+the TTC went. `render_timeline` draws pilots and unit concurrency as
+text, directly from the instrumented histories.
+
+Example output::
+
+    t=0s .................................................... t=5012s
+    pilot.0001 [stampede-sim   ] ~~~~~~####################________
+    pilot.0002 [gordon-sim     ] ~~~~~~~~~~~~~~############________
+    units executing                  .:iIIIIIIIIIIIIiii:.
+
+Legend: ``~`` queued, ``#`` active, ``_`` after the pilot ended;
+the units row is a density ramp `` .:iI`` by executing-unit count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..pilot import ComputePilot, ComputeUnit, PilotState
+from .analytics import concurrency_series
+
+#: density ramp for the unit-concurrency row.
+_RAMP = " .:iI"
+
+
+def _row(width: int, fill: str = " ") -> List[str]:
+    return [fill] * width
+
+
+def _mark(row: List[str], t0: float, t1: float, lo: float, hi: float,
+          char: str) -> None:
+    """Paint ``char`` over the cells covering [t0, t1] within [lo, hi]."""
+    if hi <= lo or t1 < t0:
+        return
+    width = len(row)
+    scale = width / (hi - lo)
+    a = max(0, min(width - 1, int((t0 - lo) * scale)))
+    b = max(0, min(width - 1, int((t1 - lo) * scale)))
+    for i in range(a, b + 1):
+        row[i] = char
+
+
+def render_timeline(
+    pilots: Sequence[ComputePilot],
+    units: Sequence[ComputeUnit],
+    t_start: float,
+    t_end: float,
+    width: int = 64,
+) -> str:
+    """Render one execution as an ASCII timeline."""
+    if t_end <= t_start:
+        raise ValueError("t_end must exceed t_start")
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    lines = [
+        f"t={t_start:.0f}s " + "." * width + f" t={t_end:.0f}s"
+    ]
+
+    for pilot in pilots:
+        row = _row(width)
+        submit = pilot.history.timestamp(PilotState.LAUNCHING.value)
+        active = pilot.activated_at
+        final = None
+        for state in (PilotState.DONE, PilotState.CANCELED, PilotState.FAILED):
+            cand = pilot.history.timestamp(state.value)
+            if cand is not None:
+                final = cand if final is None else min(final, cand)
+        if submit is not None:
+            _mark(row, submit, (active if active is not None else
+                                (final if final is not None else t_end)),
+                  t_start, t_end, "~")
+        if active is not None:
+            _mark(row, active, final if final is not None else t_end,
+                  t_start, t_end, "#")
+        if final is not None and final < t_end:
+            _mark(row, final, t_end, t_start, t_end, "_")
+        label = f"{pilot.uid} [{pilot.resource:<15.15}]"
+        lines.append(f"{label} " + "".join(row))
+
+    # unit-concurrency density row
+    series = concurrency_series(units)
+    if series:
+        row = _row(width)
+        peak = max(level for _, level in series) or 1
+        for (t0, level), (t1, _) in zip(series, series[1:]):
+            idx = min(len(_RAMP) - 1,
+                      1 + int((len(_RAMP) - 2) * level / peak)) if level else 0
+            _mark(row, t0, t1, t_start, t_end, _RAMP[idx])
+        pad = " " * (len(lines[-1]) - width - len("".join(row)) + len(row) * 0)
+        label = f"{'units executing':<{len(pilots[0].uid) + 18 if pilots else 20}}"
+        lines.append(f"{label} " + "".join(row))
+        lines.append(f"(peak concurrency: {peak})")
+    return "\n".join(lines)
+
+
+def render_report_timeline(report, width: int = 64) -> str:
+    """Convenience: timeline straight from an ExecutionReport."""
+    d = report.decomposition
+    return render_timeline(
+        report.pilots, report.units, d.t_start, d.t_end, width=width
+    )

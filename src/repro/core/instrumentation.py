@@ -1,0 +1,150 @@
+"""TTC decomposition from middleware traces (self-introspection).
+
+The AIMES middleware records every state transition with a timestamp;
+analysis then *derives* the time components of TTC from those records —
+never from ad-hoc counters. The components, following the paper's
+Figure 3:
+
+* **Tw** — setup time: from the first pilot submission until the first
+  pilot becomes active (the execution can start draining tasks then).
+  ``tw_last`` (until the last activation) is also reported, since early
+  binding's makespan is governed by it.
+* **Tx** — execution span: from the first unit entering EXECUTING to the
+  last unit leaving it.
+* **Ts** — staging time: the union of all intervals during which at
+  least one data transfer of this run was in flight (input or output).
+* **Trp** — middleware overhead: the portion of TTC not covered by the
+  union of Tw, Tx and Ts (scheduling passes, binding, bookkeeping).
+
+The components overlap by design, so ``TTC <= Tw + Tx + Ts + Trp`` need
+not hold; instead ``TTC = union(...) + Trp`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..pilot import ComputePilot, ComputeUnit, PilotState, UnitState
+from .metrics import Interval, merge_intervals, span, union_duration
+
+
+@dataclass(frozen=True)
+class TTCDecomposition:
+    """The measured time components of one application execution."""
+
+    t_start: float
+    t_end: float
+    tw: float                 # first-pilot setup time
+    tw_last: float            # last-pilot setup time
+    tx: float                 # execution span
+    ts: float                 # staging (union of transfer intervals)
+    trp: float                # middleware overhead (uncovered TTC)
+    pilot_waits: Tuple[float, ...]    # per-pilot queue waits (NaN if never active)
+    units_done: int
+    units_failed: int
+    restarts: int
+
+    @property
+    def ttc(self) -> float:
+        return self.t_end - self.t_start
+
+
+class IntrospectionError(Exception):
+    """Raised when traces are insufficient to decompose the execution."""
+
+
+def unit_intervals(
+    units: Sequence[ComputeUnit], start_state: str, end_states: Sequence[str]
+) -> List[Interval]:
+    """Per-unit intervals from first ``start_state`` to first of ``end_states``."""
+    out: List[Interval] = []
+    for unit in units:
+        t0 = unit.history.timestamp(start_state)
+        if t0 is None:
+            continue
+        t1 = None
+        for s in end_states:
+            cand = unit.history.timestamp(s)
+            if cand is not None and cand >= t0:
+                t1 = cand if t1 is None else min(t1, cand)
+        if t1 is not None:
+            out.append((t0, t1))
+    return out
+
+
+def staging_intervals(units: Sequence[ComputeUnit]) -> List[Interval]:
+    """Intervals each unit spent staging data (input and output)."""
+    ins = unit_intervals(
+        units, UnitState.STAGING_INPUT.value, (UnitState.PENDING_EXECUTION.value,)
+    )
+    outs = unit_intervals(
+        units, UnitState.STAGING_OUTPUT.value, (UnitState.DONE.value,)
+    )
+    return ins + outs
+
+
+def execution_intervals(units: Sequence[ComputeUnit]) -> List[Interval]:
+    """Intervals each unit spent on pilot cores."""
+    return unit_intervals(
+        units, UnitState.EXECUTING.value, (UnitState.STAGING_OUTPUT.value,)
+    )
+
+
+def decompose(
+    pilots: Sequence[ComputePilot],
+    units: Sequence[ComputeUnit],
+    t_start: float,
+    t_end: float,
+) -> TTCDecomposition:
+    """Derive the TTC decomposition for one application execution."""
+    if t_end < t_start:
+        raise IntrospectionError("t_end precedes t_start")
+    if not pilots:
+        raise IntrospectionError("no pilots to decompose")
+
+    submits = [
+        p.history.timestamp(PilotState.LAUNCHING.value) for p in pilots
+    ]
+    actives = [p.activated_at for p in pilots]
+    valid_actives = [a for a in actives if a is not None]
+    first_submit = min(s for s in submits if s is not None)
+    if valid_actives:
+        tw = min(valid_actives) - first_submit
+        tw_last = max(valid_actives) - first_submit
+    else:
+        tw = tw_last = t_end - first_submit  # no pilot ever activated
+
+    exec_ivals = execution_intervals(units)
+    stage_ivals = staging_intervals(units)
+    tx = span(exec_ivals)
+    ts = union_duration(stage_ivals)
+
+    # Trp: TTC time not covered by waiting, executing, or staging.
+    covered = merge_intervals(
+        [(first_submit, first_submit + tw)] + exec_ivals + stage_ivals
+    )
+    clipped = [
+        (max(lo, t_start), min(hi, t_end))
+        for lo, hi in covered
+        if hi > t_start and lo < t_end
+    ]
+    trp = (t_end - t_start) - union_duration(clipped)
+
+    pilot_waits = tuple(
+        (a - s) if (a is not None and s is not None) else float("nan")
+        for s, a in zip(submits, actives)
+    )
+    return TTCDecomposition(
+        t_start=t_start,
+        t_end=t_end,
+        tw=tw,
+        tw_last=tw_last,
+        tx=tx,
+        ts=ts,
+        trp=max(0.0, trp),
+        pilot_waits=pilot_waits,
+        units_done=sum(1 for u in units if u.state is UnitState.DONE),
+        units_failed=sum(1 for u in units if u.state is UnitState.FAILED),
+        restarts=sum(u.restarts for u in units),
+    )

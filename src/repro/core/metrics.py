@@ -1,0 +1,60 @@
+"""Interval algebra and performance metrics for execution analysis."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping/touching intervals into a disjoint sorted list."""
+    items = sorted((lo, hi) for lo, hi in intervals if hi >= lo)
+    out: List[Interval] = []
+    for lo, hi in items:
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def union_duration(intervals: Iterable[Interval]) -> float:
+    """Total time covered by at least one interval."""
+    return sum(hi - lo for lo, hi in merge_intervals(intervals))
+
+
+def span(intervals: Iterable[Interval]) -> float:
+    """Time from the earliest start to the latest end (0 if empty)."""
+    items = [iv for iv in intervals]
+    if not items:
+        return 0.0
+    return max(hi for _, hi in items) - min(lo for lo, _ in items)
+
+
+def overlap_fraction(a: Iterable[Interval], b: Iterable[Interval]) -> float:
+    """Fraction of A's covered time that is also covered by B."""
+    a_merged = merge_intervals(a)
+    b_merged = merge_intervals(b)
+    total_a = sum(hi - lo for lo, hi in a_merged)
+    if total_a == 0:
+        return 0.0
+    shared = 0.0
+    j = 0
+    for lo, hi in a_merged:
+        while j < len(b_merged) and b_merged[j][1] < lo:
+            j += 1
+        k = j
+        while k < len(b_merged) and b_merged[k][0] < hi:
+            shared += max(
+                0.0, min(hi, b_merged[k][1]) - max(lo, b_merged[k][0])
+            )
+            k += 1
+    return shared / total_a
+
+
+def throughput(n_tasks: int, ttc_s: float) -> float:
+    """Completed tasks per hour."""
+    if ttc_s <= 0:
+        return 0.0
+    return n_tasks / (ttc_s / 3600.0)

@@ -1,0 +1,176 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel operates on a binary heap of :class:`ScheduledEvent` records.
+Ties in simulated time are broken deterministically by a monotonically
+increasing sequence number, so two runs with the same seeds replay the
+exact same event order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .errors import SchedulingError
+
+#: Sentinel callback used for cancelled events still sitting in the heap.
+_CANCELLED: Callable[..., None] = lambda *a, **k: None  # noqa: E731
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at a simulated time.
+
+    Ordering is by ``(time, priority, seq)``; ``callback`` and ``args`` are
+    excluded from comparisons.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+    #: set to True when cancelled; the kernel skips cancelled entries lazily.
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel will skip it.
+
+        Cancelling an already-fired event is a no-op: the kernel clears the
+        callback reference after dispatch, and we only flip a flag here.
+        """
+        self.cancelled = True
+        self.callback = _CANCELLED
+        self.args = ()
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`ScheduledEvent` records."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Insert a callback at simulated ``time`` and return its handle."""
+        if time != time:  # NaN guard
+            raise SchedulingError("event time is NaN")
+        ev = ScheduledEvent(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Lazily cancel ``event``; it stays in the heap but will be skipped."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next live event, or None if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the next live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+
+@dataclass
+class TraceRecord:
+    """One timestamped entry in a simulation trace."""
+
+    time: float
+    category: str
+    entity: str
+    event: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only, timestamped record log used for self-introspection.
+
+    Every state transition in the middleware layers records a
+    :class:`TraceRecord`. Analyses (TTC decomposition, overlap computation)
+    are derived from these traces rather than from ad-hoc bookkeeping, which
+    mirrors the instrumentation design of the AIMES middleware.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self._enabled = True
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        entity: str,
+        event: str,
+        **data: Any,
+    ) -> None:
+        """Append one record (no-op when tracing is disabled)."""
+        if self._enabled:
+            self.records.append(TraceRecord(time, category, entity, event, data))
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        entity: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all provided filters, in time order."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if entity is not None and rec.entity != entity:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, **kw: Any) -> Optional[TraceRecord]:
+        """First matching record or None."""
+        recs = self.query(**kw)
+        return recs[0] if recs else None
+
+    def last(self, **kw: Any) -> Optional[TraceRecord]:
+        """Last matching record or None."""
+        recs = self.query(**kw)
+        return recs[-1] if recs else None
+
+    def clear(self) -> None:
+        self.records.clear()

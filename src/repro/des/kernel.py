@@ -1,0 +1,149 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulation` owns the simulated clock, the event queue, the trace
+log, and the registry of seeded RNG streams. Everything in the substrate
+(clusters, networks, pilots) is driven by one shared kernel so that the
+whole middleware stack advances on a single, deterministic timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import SchedulingError, SimulationError
+from .events import EventQueue, ScheduledEvent, Tracer
+from .process import AllOf, AnyOf, Process, Signal, Timeout, Waitable
+from .rng import RngStreams
+
+
+class Simulation:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._now = float(start_time)
+        self._running = False
+        self.rng = RngStreams(seed)
+        self.trace = Tracer()
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    def call_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a scheduled event (safe to call more than once)."""
+        self._queue.cancel(event)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next event. Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        ev = self._queue.pop()
+        if ev.time < self._now:
+            raise SimulationError("event queue produced an event in the past")
+        self._now = ev.time
+        ev.callback(*ev.args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue is empty or simulated ``until``.
+
+        When ``until`` is given, events strictly after it remain queued and
+        the clock is advanced to exactly ``until``. Returns the final time.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+            else:
+                if until < self._now:
+                    raise SchedulingError(
+                        f"cannot run until {until} < now ({self._now})"
+                    )
+                while True:
+                    t = self._queue.peek_time()
+                    if t is None or t > until:
+                        break
+                    self.step()
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, process: "Process", until: Optional[float] = None) -> Any:
+        """Run until ``process`` completes; return its value or raise its error."""
+        while not process.triggered:
+            if until is not None and self._now >= until:
+                raise SimulationError(
+                    f"process {process.name!r} did not finish by t={until}"
+                )
+            if not self.step():
+                raise SimulationError(
+                    f"deadlock: event queue empty but process {process.name!r} "
+                    "has not finished"
+                )
+        if process.ok:
+            return process.value
+        raise process.exception  # type: ignore[misc]
+
+    # -- process & waitable factories ----------------------------------------
+
+    def process(
+        self,
+        generator: Generator[Waitable, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a waitable that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Signal:
+        """Create a one-shot signal waitable."""
+        return Signal(self)
+
+    def any_of(self, children: Iterable[Waitable]) -> AnyOf:
+        """Waitable that fires when any child fires."""
+        return AnyOf(self, children)
+
+    def all_of(self, children: Iterable[Waitable]) -> AllOf:
+        """Waitable that fires when all children have fired."""
+        return AllOf(self, children)

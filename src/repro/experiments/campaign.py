@@ -1,0 +1,194 @@
+"""The four experiments of Table I, run as Monte-Carlo campaigns.
+
+Each experiment couples one execution strategy with nine bag-of-task
+skeleton applications (8..2048 single-core tasks, uniform 15 min or
+truncated-Gaussian durations). A campaign runs every (experiment, size)
+cell for several repetitions; each repetition gets a fresh simulated
+testbed, an independent seed, a randomized warm-up offset, and — as in
+the paper — a randomized choice/order of target resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Binding, PlannerConfig
+from ..skeleton import PAPER_TASK_COUNTS, SkeletonAPI, paper_skeleton
+from .environment import build_environment
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One row family of Table I."""
+
+    exp_id: int
+    gaussian: bool          # task-duration distribution
+    binding: Binding
+    unit_scheduler: str
+    n_pilots: int
+
+    @property
+    def label(self) -> str:
+        dist = "Gaussian" if self.gaussian else "Uniform"
+        b = "Late" if self.binding is Binding.LATE else "Early"
+        return f"Exp.{self.exp_id} ({b} {dist} {self.n_pilots} pilot(s))"
+
+
+#: Table I. Experiments 1-2: early binding, direct scheduler, one pilot
+#: sized to run all tasks concurrently. Experiments 3-4: late binding,
+#: backfill scheduler, three pilots of #tasks/3 cores each.
+TABLE1: Dict[int, ExperimentSpec] = {
+    1: ExperimentSpec(1, gaussian=False, binding=Binding.EARLY,
+                      unit_scheduler="direct", n_pilots=1),
+    2: ExperimentSpec(2, gaussian=True, binding=Binding.EARLY,
+                      unit_scheduler="direct", n_pilots=1),
+    3: ExperimentSpec(3, gaussian=False, binding=Binding.LATE,
+                      unit_scheduler="backfill", n_pilots=3),
+    4: ExperimentSpec(4, gaussian=True, binding=Binding.LATE,
+                      unit_scheduler="backfill", n_pilots=3),
+}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The measurements of one repetition."""
+
+    exp_id: int
+    n_tasks: int
+    rep: int
+    resources: Tuple[str, ...]
+    ttc: float
+    tw: float
+    tw_last: float
+    tx: float
+    ts: float
+    trp: float
+    pilot_waits: Tuple[float, ...]
+    units_done: int
+    restarts: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.units_done == self.n_tasks
+
+
+@dataclass
+class CampaignResult:
+    """All repetitions of a campaign, with aggregation helpers."""
+
+    runs: List[RunResult] = field(default_factory=list)
+
+    def cell(self, exp_id: int, n_tasks: int) -> List[RunResult]:
+        return [
+            r for r in self.runs if r.exp_id == exp_id and r.n_tasks == n_tasks
+        ]
+
+    def aggregate(
+        self, exp_id: int, n_tasks: int, attr: str = "ttc"
+    ) -> Tuple[float, float]:
+        """(mean, std) of one attribute over a cell's repetitions."""
+        values = [getattr(r, attr) for r in self.cell(exp_id, n_tasks)]
+        if not values:
+            return (float("nan"), float("nan"))
+        arr = np.asarray(values, dtype=float)
+        return float(arr.mean()), float(arr.std(ddof=0))
+
+    def series(
+        self, exp_id: int, attr: str = "ttc",
+        task_counts: Sequence[int] = PAPER_TASK_COUNTS,
+    ) -> List[Tuple[int, float, float]]:
+        """[(n_tasks, mean, std), ...] for one experiment."""
+        return [
+            (n, *self.aggregate(exp_id, n, attr)) for n in task_counts
+        ]
+
+
+def run_single(
+    spec: ExperimentSpec,
+    n_tasks: int,
+    rep: int = 0,
+    campaign_seed: int = 0,
+    resource_pool: Optional[Sequence[str]] = None,
+    min_warmup_s: float = 2 * 3600.0,
+    max_warmup_s: float = 12 * 3600.0,
+) -> RunResult:
+    """Execute one repetition of one (experiment, size) cell.
+
+    The repetition's seed, warm-up offset, target resources, and
+    materialized task durations all derive deterministically from
+    ``(campaign_seed, exp_id, n_tasks, rep)``.
+    """
+    ss = np.random.SeedSequence(
+        entropy=campaign_seed, spawn_key=(spec.exp_id, n_tasks, rep)
+    )
+    seeds = ss.generate_state(3)
+    rng = np.random.default_rng(seeds[0])
+
+    env = build_environment(seed=int(seeds[1]), resources=resource_pool)
+    # Randomized submission instant (irregular intervals, paper §IV.A).
+    env.warm_up(float(rng.uniform(min_warmup_s, max_warmup_s)))
+
+    # Randomized resource choice and submission order (paper §IV.A).
+    pool_names = list(env.pool)
+    chosen = tuple(
+        rng.choice(pool_names, size=spec.n_pilots, replace=False)
+    )
+
+    skeleton = SkeletonAPI(
+        paper_skeleton(n_tasks, gaussian=spec.gaussian), seed=int(seeds[2])
+    )
+    config = PlannerConfig(
+        binding=spec.binding,
+        unit_scheduler=spec.unit_scheduler,
+        n_pilots=spec.n_pilots,
+        resources=chosen,
+    )
+    report = env.execution_manager.execute(skeleton, config)
+    d = report.decomposition
+    return RunResult(
+        exp_id=spec.exp_id,
+        n_tasks=n_tasks,
+        rep=rep,
+        resources=chosen,
+        ttc=d.ttc,
+        tw=d.tw,
+        tw_last=d.tw_last,
+        tx=d.tx,
+        ts=d.ts,
+        trp=d.trp,
+        pilot_waits=d.pilot_waits,
+        units_done=d.units_done,
+        restarts=d.restarts,
+    )
+
+
+def run_campaign(
+    experiments: Sequence[int] = (1, 2, 3, 4),
+    task_counts: Sequence[int] = PAPER_TASK_COUNTS,
+    reps: int = 5,
+    campaign_seed: int = 0,
+    resource_pool: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> CampaignResult:
+    """Run the full experiment grid; returns all repetitions."""
+    result = CampaignResult()
+    for exp_id in experiments:
+        spec = TABLE1[exp_id]
+        for n_tasks in task_counts:
+            for rep in range(reps):
+                run = run_single(
+                    spec, n_tasks, rep,
+                    campaign_seed=campaign_seed,
+                    resource_pool=resource_pool,
+                )
+                result.runs.append(run)
+                if verbose:
+                    print(
+                        f"{spec.label} n={n_tasks} rep={rep}: "
+                        f"TTC={run.ttc:.0f}s Tw={run.tw:.0f}s "
+                        f"done={run.units_done}/{n_tasks}"
+                    )
+    return result

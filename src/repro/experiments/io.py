@@ -1,0 +1,53 @@
+"""Persistence for campaign results (JSON on disk).
+
+Campaigns are cheap to re-run but the paper's analysis workflow treats
+measurement and analysis as separate phases; saving results also lets
+the CLI regenerate figures without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from .campaign import CampaignResult, RunResult
+
+FORMAT_VERSION = 1
+
+
+def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    """Serialize a campaign to plain JSON-compatible data."""
+    return {
+        "format": FORMAT_VERSION,
+        "runs": [dataclasses.asdict(run) for run in result.runs],
+    }
+
+
+def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
+    """Rebuild a campaign from :func:`campaign_to_dict` output."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported campaign format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    result = CampaignResult()
+    for raw in data["runs"]:
+        raw = dict(raw)
+        raw["resources"] = tuple(raw["resources"])
+        raw["pilot_waits"] = tuple(raw["pilot_waits"])
+        result.runs.append(RunResult(**raw))
+    return result
+
+
+def save_campaign(result: CampaignResult, path: str) -> None:
+    """Write a campaign to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(campaign_to_dict(result), fh, indent=1)
+
+
+def load_campaign(path: str) -> CampaignResult:
+    """Read a campaign from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return campaign_from_dict(json.load(fh))

@@ -1,0 +1,30 @@
+"""Network and storage substrate: fair-share WAN links, site filesystems.
+
+Models the data-staging path between the user's origin host (where the
+middleware runs) and each resource, with processor-sharing bandwidth so
+concurrent stagings slow each other down realistically.
+"""
+
+from .filesystem import FileExists, FileNotFound, FileRecord, SharedFilesystem
+from .link import Link, Transfer
+from .topology import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    Network,
+    ORIGIN,
+    UnknownSite,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_LATENCY",
+    "FileExists",
+    "FileNotFound",
+    "FileRecord",
+    "Link",
+    "Network",
+    "ORIGIN",
+    "SharedFilesystem",
+    "Transfer",
+    "UnknownSite",
+]

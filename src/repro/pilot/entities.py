@@ -1,0 +1,183 @@
+"""Pilot and compute-unit entities (instrumented state holders)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..des import Signal, Simulation, Waitable
+from .description import ComputePilotDescription, ComputeUnitDescription
+from .states import (
+    PILOT_FINAL,
+    PilotState,
+    StateHistory,
+    UNIT_FINAL,
+    UnitState,
+    check_unit_transition,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .agent import Agent
+
+_pilot_ids = itertools.count(1)
+_unit_ids = itertools.count(1)
+
+
+class ComputePilot:
+    """One resource placeholder, from description to termination."""
+
+    def __init__(self, sim: Simulation, description: ComputePilotDescription) -> None:
+        self.sim = sim
+        self.description = description
+        self.uid = f"pilot.{next(_pilot_ids):04d}"
+        self.state = PilotState.NEW
+        self.history = StateHistory()
+        self.history.append(self.state.value, sim.now)
+        sim.trace.record(
+            sim.now, "pilot", self.uid, PilotState.NEW.value,
+            resource=description.resource, cores=description.cores,
+        )
+        self.agent: Optional["Agent"] = None
+        self.saga_job = None  # set by the PilotManager
+        self._active = Signal(sim)
+        self._final = Signal(sim)
+        self._callbacks: List[Callable[["ComputePilot", PilotState], None]] = []
+
+    # -- observation --------------------------------------------------------------
+
+    @property
+    def resource(self) -> str:
+        return self.description.resource
+
+    @property
+    def cores(self) -> int:
+        return self.description.cores
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is PilotState.ACTIVE
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in PILOT_FINAL
+
+    def wait_active(self) -> Waitable:
+        """Waitable fired when the pilot becomes ACTIVE (fails if it never does)."""
+        return self._active
+
+    def wait_final(self) -> Waitable:
+        return self._final
+
+    def add_callback(self, fn: Callable[["ComputePilot", PilotState], None]) -> None:
+        self._callbacks.append(fn)
+
+    @property
+    def activated_at(self) -> Optional[float]:
+        return self.history.timestamp(PilotState.ACTIVE.value)
+
+    @property
+    def submitted_at(self) -> Optional[float]:
+        return self.history.timestamp(PilotState.LAUNCHING.value)
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds from submission to activation (the pilot's share of Tw)."""
+        return self.history.duration_between(
+            PilotState.LAUNCHING.value, PilotState.ACTIVE.value
+        )
+
+    # -- state machine ---------------------------------------------------------------
+
+    def advance(self, new_state: PilotState) -> None:
+        if self.is_final:
+            return  # late native-job echoes after cancellation are ignored
+        self.state = new_state
+        self.history.append(new_state.value, self.sim.now)
+        self.sim.trace.record(
+            self.sim.now, "pilot", self.uid, new_state.value,
+            resource=self.resource, cores=self.cores,
+        )
+        for fn in list(self._callbacks):
+            fn(self, new_state)
+        if new_state is PilotState.ACTIVE and not self._active.triggered:
+            self._active.succeed(self)
+        if new_state in PILOT_FINAL:
+            if not self._active.triggered:
+                self._active.fail(
+                    RuntimeError(f"{self.uid} finished without becoming active")
+                )
+            if not self._final.triggered:
+                self._final.succeed(self)
+
+
+class ComputeUnit:
+    """One application task travelling through the pilot middleware."""
+
+    def __init__(self, sim: Simulation, description: ComputeUnitDescription) -> None:
+        self.sim = sim
+        self.description = description
+        self.uid = f"unit.{next(_unit_ids):06d}"
+        self.state = UnitState.NEW
+        self.history = StateHistory()
+        self.history.append(self.state.value, sim.now)
+        sim.trace.record(
+            sim.now, "unit", self.uid, UnitState.NEW.value,
+            name=description.name, pilot=None,
+        )
+        self.pilot: Optional[ComputePilot] = None
+        self.restarts = 0
+        self._final = Signal(sim)
+        self._callbacks: List[Callable[["ComputeUnit", UnitState], None]] = []
+
+    # -- observation ----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def cores(self) -> int:
+        return self.description.cores
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in UNIT_FINAL and not (
+            self.state is UnitState.FAILED and self.can_restart
+        )
+
+    @property
+    def can_restart(self) -> bool:
+        return self.restarts < self.description.max_restarts
+
+    def wait_final(self) -> Waitable:
+        return self._final
+
+    def add_callback(self, fn: Callable[["ComputeUnit", UnitState], None]) -> None:
+        self._callbacks.append(fn)
+
+    @property
+    def executed_for(self) -> Optional[float]:
+        """Wall seconds spent in EXECUTING (first attempt to completion)."""
+        return self.history.duration_between(
+            UnitState.EXECUTING.value, UnitState.STAGING_OUTPUT.value
+        )
+
+    # -- state machine -----------------------------------------------------------------
+
+    def advance(self, new_state: UnitState) -> None:
+        check_unit_transition(self.state, new_state)
+        self.state = new_state
+        self.history.append(new_state.value, self.sim.now)
+        self.sim.trace.record(
+            self.sim.now, "unit", self.uid, new_state.value,
+            name=self.name,
+            pilot=self.pilot.uid if self.pilot else None,
+        )
+        for fn in list(self._callbacks):
+            fn(self, new_state)
+        if new_state is UnitState.DONE or new_state is UnitState.CANCELED:
+            if not self._final.triggered:
+                self._final.succeed(self)
+        elif new_state is UnitState.FAILED and not self.can_restart:
+            if not self._final.triggered:
+                self._final.succeed(self)

@@ -1,0 +1,136 @@
+"""The pilot manager: launches and tracks pilots through the SAGA layer."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..cluster import Cluster
+from ..des import Simulation, Waitable
+from ..saga import JobDescription, JobService, SagaJob, SagaState
+from .agent import Agent
+from .description import ComputePilotDescription
+from .entities import ComputePilot
+from .states import PilotState
+
+
+class PilotManagerError(Exception):
+    """Raised on invalid pilot submissions."""
+
+
+class PilotManager:
+    """Submits pilot placeholders to the resources' batch systems.
+
+    One manager serves any number of resources; it creates (and caches)
+    a SAGA job service per (scheme, resource) pair and translates pilot
+    descriptions into placeholder batch jobs. The pilot's agent is
+    attached when the placeholder starts running.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        clusters: Dict[str, Cluster],
+        bootstrap_s: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self._clusters = dict(clusters)
+        self._services: Dict[str, JobService] = {}
+        self.pilots: List[ComputePilot] = []
+        #: delay between the placeholder job starting and the agent being
+        #: ready to accept units (environment setup, agent handshake).
+        self.bootstrap_s = float(bootstrap_s)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit_pilots(
+        self,
+        descriptions: "ComputePilotDescription | Sequence[ComputePilotDescription]",
+    ) -> List[ComputePilot]:
+        """Launch one pilot per description; returns the pilot handles."""
+        if isinstance(descriptions, ComputePilotDescription):
+            descriptions = [descriptions]
+        out = []
+        for desc in descriptions:
+            out.append(self._launch(desc))
+        return out
+
+    def cancel_pilots(self, pilots: Optional[Iterable[ComputePilot]] = None) -> None:
+        """Cancel the given pilots (default: all non-final ones)."""
+        targets = list(pilots) if pilots is not None else list(self.pilots)
+        for pilot in targets:
+            if pilot.is_final:
+                continue
+            if pilot.saga_job is not None:
+                pilot.saga_job.cancel()
+            else:  # not yet launched
+                pilot.advance(PilotState.CANCELED)
+
+    def wait_any_active(self, pilots: Sequence[ComputePilot]) -> Waitable:
+        """Waitable fired when the first of ``pilots`` activates."""
+        return self.sim.any_of([p.wait_active() for p in pilots])
+
+    # -- internals ----------------------------------------------------------------
+
+    def _service_for(self, resource: str, scheme: str) -> JobService:
+        key = f"{scheme}://{resource}"
+        svc = self._services.get(key)
+        if svc is None:
+            cluster = self._clusters.get(resource)
+            if cluster is None:
+                raise PilotManagerError(
+                    f"unknown resource {resource!r}; known: "
+                    f"{sorted(self._clusters)}"
+                )
+            svc = JobService(self.sim, key, cluster)
+            self._services[key] = svc
+        return svc
+
+    def _launch(self, desc: ComputePilotDescription) -> ComputePilot:
+        pilot = ComputePilot(self.sim, desc)
+        self.pilots.append(pilot)
+        svc = self._service_for(desc.resource, desc.access_schema)
+        job_desc = JobDescription(
+            executable="/bin/aimes-pilot-agent",
+            total_cpu_count=desc.cores,
+            wall_time_limit=desc.runtime_min,
+            queue=desc.queue,
+            project=desc.project,
+            name=pilot.uid,
+            simulated_runtime_s=desc.runtime_s,
+            kind="pilot",
+        )
+        pilot.advance(PilotState.LAUNCHING)
+        saga_job = svc.submit(job_desc)
+        pilot.saga_job = saga_job
+        saga_job.add_callback(
+            lambda job, state, p=pilot: self._on_saga_state(p, job, state)
+        )
+        return pilot
+
+    def _on_saga_state(
+        self, pilot: ComputePilot, job: SagaJob, state: SagaState
+    ) -> None:
+        if state is SagaState.PENDING:
+            pilot.advance(PilotState.PENDING_ACTIVE)
+        elif state is SagaState.RUNNING:
+            if self.bootstrap_s > 0:
+                self.sim.call_in(self.bootstrap_s, self._activate, pilot)
+            else:
+                self._activate(pilot)
+        elif state is SagaState.DONE:
+            self._finalize(pilot, PilotState.DONE)
+        elif state is SagaState.CANCELED:
+            self._finalize(pilot, PilotState.CANCELED)
+        elif state is SagaState.FAILED:
+            self._finalize(pilot, PilotState.FAILED)
+
+    def _activate(self, pilot: ComputePilot) -> None:
+        if pilot.is_final:
+            return  # died during bootstrap
+        pilot.agent = Agent(self.sim, pilot, site=pilot.resource)
+        pilot.advance(PilotState.ACTIVE)
+
+    def _finalize(self, pilot: ComputePilot, state: PilotState) -> None:
+        if pilot.agent is not None:
+            pilot.agent.stop()
+        pilot.advance(state)

@@ -1,0 +1,280 @@
+"""The unit manager: binds compute units to pilots and drives them through
+their lifecycle (staging, execution, output staging, restart on failure).
+
+The manager owns the binding policy (early-binding ``direct``, or
+late-binding ``backfill`` / ``round-robin``), resolves inter-unit data
+dependencies, and enforces the paper's fault behaviour: units stranded
+by a dying pilot are automatically re-dispatched to surviving pilots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..des import Interrupt, Process, Simulation, Waitable
+from ..net import Network, ORIGIN
+from .description import ComputeUnitDescription
+from .entities import ComputePilot, ComputeUnit
+from .schedulers import UnitScheduler, make_unit_scheduler
+from .states import PilotState, UnitState
+
+
+class UnitManagerError(Exception):
+    """Raised on invalid unit-manager operations."""
+
+
+class UnitManager:
+    """Coordinates unit binding and execution over a set of pilots."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: Network,
+        scheduler: "str | UnitScheduler" = "backfill",
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.scheduler = (
+            make_unit_scheduler(scheduler)
+            if isinstance(scheduler, str) else scheduler
+        )
+        # The locality policy reads site filesystems; inject ours if the
+        # scheduler was constructed by name (or without one).
+        if getattr(self.scheduler, "name", "") == "locality" and (
+            getattr(self.scheduler, "network", None) is None
+        ):
+            self.scheduler.network = network
+        self.pilots: List[ComputePilot] = []
+        self.units: List[ComputeUnit] = []
+        self._unbound: List[ComputeUnit] = []
+        self._processes: Dict[str, Process] = {}
+        #: unit names that have completed (for dependency resolution).
+        self._done_names: Set[str] = set()
+        #: name -> unmet dependency names.
+        self._deps: Dict[str, Set[str]] = {}
+        self._reschedule_pending = False
+
+    # -- pilots ----------------------------------------------------------------------
+
+    def add_pilots(
+        self, pilots: "ComputePilot | Sequence[ComputePilot]"
+    ) -> None:
+        """Attach pilots; their activations/deaths drive (re)scheduling."""
+        if isinstance(pilots, ComputePilot):
+            pilots = [pilots]
+        for pilot in pilots:
+            self.pilots.append(pilot)
+            pilot.add_callback(self._on_pilot_state)
+        self._schedule_pass()
+
+    # -- units ------------------------------------------------------------------------
+
+    def submit_units(
+        self,
+        descriptions: "ComputeUnitDescription | Sequence[ComputeUnitDescription]",
+        depends_on: Optional[Dict[str, Iterable[str]]] = None,
+    ) -> List[ComputeUnit]:
+        """Accept units for execution.
+
+        ``depends_on`` maps unit *names* to the names of units whose
+        outputs they need; a unit becomes eligible for binding only when
+        all its dependencies are DONE.
+        """
+        if isinstance(descriptions, ComputeUnitDescription):
+            descriptions = [descriptions]
+        deps = depends_on or {}
+        out = []
+        for desc in descriptions:
+            unit = ComputeUnit(self.sim, desc)
+            self.units.append(unit)
+            unmet = {
+                d for d in deps.get(desc.name, ())
+                if d not in self._done_names
+            }
+            self._deps[unit.name] = unmet
+            unit.advance(UnitState.UNSCHEDULED)
+            self._unbound.append(unit)
+            out.append(unit)
+        self._schedule_pass()
+        return out
+
+    def wait_units(
+        self, units: Optional[Sequence[ComputeUnit]] = None
+    ) -> Waitable:
+        """Waitable fired when all given units (default: all) are final."""
+        targets = list(units) if units is not None else list(self.units)
+        return self.sim.all_of([u.wait_final() for u in targets])
+
+    def cancel_units(self, units: Optional[Sequence[ComputeUnit]] = None) -> None:
+        """Cancel queued/in-flight units (default: all non-final)."""
+        targets = list(units) if units is not None else list(self.units)
+        for unit in targets:
+            if unit.is_final:
+                continue
+            proc = self._processes.pop(unit.uid, None)
+            if proc is not None and proc.is_alive:
+                proc.interrupt("canceled")
+            if unit in self._unbound:
+                self._unbound.remove(unit)
+            if unit.state is not UnitState.CANCELED:
+                unit.advance(UnitState.CANCELED)
+
+    @property
+    def completed_units(self) -> int:
+        return sum(1 for u in self.units if u.state is UnitState.DONE)
+
+    # -- scheduling pass -----------------------------------------------------------------
+
+    def _schedule_pass(self) -> None:
+        """Coalesce binding passes to one per simulated instant."""
+        if not self._reschedule_pending:
+            self._reschedule_pending = True
+            self.sim.call_at(self.sim.now, self._run_pass, priority=2)
+
+    def _run_pass(self) -> None:
+        self._reschedule_pending = False
+        if not self._unbound:
+            return
+        eligible = [
+            u for u in self._unbound
+            if not self._deps.get(u.name)  # no unmet dependencies
+        ]
+        if not eligible:
+            return
+        assignments = self.scheduler.assign(eligible, self.pilots)
+        for unit, pilot in assignments:
+            self._unbound.remove(unit)
+            self._bind(unit, pilot)
+
+    def _bind(self, unit: ComputeUnit, pilot: ComputePilot) -> None:
+        unit.pilot = pilot
+        if pilot.agent is not None and not pilot.agent.stopped:
+            pilot.agent.commit(unit)
+        unit.advance(UnitState.SCHEDULING)
+        proc = self.sim.process(
+            self._drive_unit(unit, pilot), name=f"drive/{unit.uid}"
+        )
+        self._processes[unit.uid] = proc
+
+    # -- the unit lifecycle process ---------------------------------------------------------
+
+    def _drive_unit(self, unit: ComputeUnit, pilot: ComputePilot):
+        acquisition = None
+        try:
+            # Early binding: wait for the pilot to come up first.
+            if not pilot.is_active:
+                yield pilot.wait_active()
+                # commit now that the agent exists
+                if pilot.agent is not None and not pilot.agent.stopped:
+                    pilot.agent.commit(unit)
+
+            site = pilot.resource
+            agent = pilot.agent
+
+            # -- input staging (holds no cores) --------------------------------
+            unit.advance(UnitState.STAGING_INPUT)
+            for fname in unit.description.input_staging:
+                if not self.network.fs(site).exists(fname):
+                    yield self.network.stage(ORIGIN, site, fname)
+
+            # -- wait for cores -------------------------------------------------
+            unit.advance(UnitState.PENDING_EXECUTION)
+            if unit.cores > agent.cores:
+                # This pilot can never host the unit (capacity-blind
+                # binding): fail fast and let the restart machinery try
+                # another pilot instead of deadlocking on the acquire.
+                agent.uncommit(unit, completed=False)
+                self._processes.pop(unit.uid, None)
+                self._fail_unit(unit)
+                return
+            acquisition = agent.capacity.acquire(unit.cores)
+            yield acquisition
+
+            # The agent's executor launches units serially at a bounded rate.
+            launch_delay = agent.reserve_launch_slot()
+            if launch_delay > 0:
+                yield self.sim.timeout(launch_delay)
+
+            # -- execute ---------------------------------------------------------
+            unit.advance(UnitState.EXECUTING)
+            yield self.sim.timeout(unit.description.duration_s)
+            acquisition.release()
+            acquisition = None
+
+            # -- output staging (cores already released) --------------------------
+            unit.advance(UnitState.STAGING_OUTPUT)
+            for fname, size in unit.description.output_staging:
+                self.network.fs(site).write(fname, size, self.sim.now)
+                yield self.network.stage(site, ORIGIN, fname)
+
+            agent.uncommit(unit, completed=True)
+            self._processes.pop(unit.uid, None)
+            unit.advance(UnitState.DONE)
+            self._on_unit_done(unit)
+
+        except Interrupt as interrupt:
+            self._cleanup_acquisition(acquisition)
+            self._processes.pop(unit.uid, None)
+            if pilot.agent is not None:
+                pilot.agent.uncommit(unit, completed=False)
+            if interrupt.cause == "canceled":
+                if unit.state is not UnitState.CANCELED:
+                    unit.advance(UnitState.CANCELED)
+                return
+            # pilot died under the unit
+            self._fail_unit(unit)
+        except RuntimeError:
+            # pilot finished without ever becoming active (wait_active failed)
+            self._cleanup_acquisition(acquisition)
+            self._processes.pop(unit.uid, None)
+            self._fail_unit(unit)
+
+    def _cleanup_acquisition(self, acquisition) -> None:
+        if acquisition is None:
+            return
+        if acquisition.granted:
+            acquisition.release()
+        elif not acquisition.triggered:
+            acquisition.cancel()
+
+    def _fail_unit(self, unit: ComputeUnit) -> None:
+        unit.restarts += 1
+        unit.pilot = None
+        unit.advance(UnitState.FAILED)
+        self.sim.trace.record(
+            self.sim.now, "unit", unit.uid, "RESTART-CHECK",
+            restarts=unit.restarts, allowed=unit.description.max_restarts,
+        )
+        if unit.can_restart:
+            unit.advance(UnitState.UNSCHEDULED)
+            self._unbound.append(unit)
+            self._schedule_pass()
+
+    # -- reactions ---------------------------------------------------------------------------
+
+    def _on_unit_done(self, unit: ComputeUnit) -> None:
+        self._done_names.add(unit.name)
+        changed = False
+        for deps in self._deps.values():
+            if unit.name in deps:
+                deps.discard(unit.name)
+                changed = True
+        if changed or self._unbound:
+            self._schedule_pass()
+
+    def _on_pilot_state(self, pilot: ComputePilot, state: PilotState) -> None:
+        if state is PilotState.ACTIVE:
+            self._schedule_pass()
+        elif state in (PilotState.DONE, PilotState.CANCELED, PilotState.FAILED):
+            self._abort_units_of(pilot)
+
+    def _abort_units_of(self, pilot: ComputePilot) -> None:
+        # Units already in STAGING_OUTPUT have finished executing; the
+        # origin-side staging completes even if the pilot is gone.
+        for unit in list(self.units):
+            if unit.pilot is pilot and not unit.is_final and unit.state not in (
+                UnitState.DONE, UnitState.CANCELED, UnitState.STAGING_OUTPUT
+            ):
+                proc = self._processes.get(unit.uid)
+                if proc is not None and proc.is_alive:
+                    proc.interrupt("pilot-died")

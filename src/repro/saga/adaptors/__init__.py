@@ -1,0 +1,13 @@
+"""Middleware-dialect adaptors for the SAGA-like access layer."""
+
+from .base import Adaptor, AdaptorError
+from .dialects import ADAPTORS, CondorAdaptor, PbsAdaptor, SlurmAdaptor
+
+__all__ = [
+    "ADAPTORS",
+    "Adaptor",
+    "AdaptorError",
+    "CondorAdaptor",
+    "PbsAdaptor",
+    "SlurmAdaptor",
+]

@@ -1,0 +1,64 @@
+"""Adaptor interface: translate uniform descriptions to native submissions.
+
+Each adaptor speaks one resource-middleware dialect (Slurm-like,
+PBS-like, HTCondor-like). The differences are deliberately faithful in
+kind if not in detail: different walltime units and rounding, different
+queue semantics and limits, different submission overheads. What the
+layers above see is identical — that is the interoperability contract.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from ...cluster import BatchJob, Cluster
+from ...cluster import JobState as NativeState
+from ..description import JobDescription
+
+
+class AdaptorError(Exception):
+    """Raised when a description cannot be honoured by the dialect."""
+
+
+class Adaptor(abc.ABC):
+    """One middleware dialect bound to one simulated cluster."""
+
+    scheme: str = "base"
+    #: extra latency this middleware adds on top of the cluster's own
+    #: submit overhead (CLI round-trips, GSI handshakes, ...).
+    submission_latency_s: float = 0.0
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    @abc.abstractmethod
+    def translate(self, description: JobDescription) -> BatchJob:
+        """Build the native job for this dialect; raise AdaptorError if
+        the description cannot be expressed."""
+
+    def submit(
+        self,
+        description: JobDescription,
+        on_native_transition: Callable[[BatchJob, NativeState, NativeState], None],
+    ) -> BatchJob:
+        """Validate, translate, and submit; wires the transition callback."""
+        description.validate()
+        native = self.translate(description)
+        native.add_callback(on_native_transition)
+        if self.submission_latency_s > 0:
+            self.cluster.sim.call_in(
+                self.submission_latency_s, self._delayed_submit, native
+            )
+        else:
+            self.cluster.submit(native)
+        return native
+
+    def _delayed_submit(self, native: BatchJob) -> None:
+        # The caller may cancel during the middleware round-trip window;
+        # a cancelled job must not reach the batch system.
+        if native.state is NativeState.NEW:
+            self.cluster.submit(native)
+
+    def cancel(self, native: BatchJob) -> None:
+        self.cluster.cancel(native)

@@ -1,0 +1,116 @@
+"""SAGA-style file management over the simulated network.
+
+The SAGA standard covers files as well as jobs; the AIMES middleware
+stages task data through it. This module exposes the same uniform
+surface: URLs name files at sites (``origin://input.dat``,
+``comet-sim://input.dat``) and :meth:`FileService.copy` returns an
+asynchronous task with SAGA task states.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Optional, Tuple
+
+from ..des import Signal, Simulation, Waitable
+from ..net import FileNotFound, Network, ORIGIN
+
+_URL_RE = re.compile(r"^([A-Za-z0-9._-]+)://(.+)$")
+
+
+class TaskState(str, enum.Enum):
+    """SAGA task states (GFD.90)."""
+
+    NEW = "New"
+    RUNNING = "Running"
+    DONE = "Done"
+    FAILED = "Failed"
+
+
+class FileUrlError(ValueError):
+    """Raised for malformed or unknown file URLs."""
+
+
+def parse_url(url: str) -> Tuple[str, str]:
+    """Split ``site://path`` into (site, path)."""
+    m = _URL_RE.match(url)
+    if m is None:
+        raise FileUrlError(f"malformed file URL {url!r}")
+    return m.group(1), m.group(2)
+
+
+class CopyTask:
+    """An asynchronous file copy with SAGA task semantics."""
+
+    def __init__(self, sim: Simulation, src: str, dst: str) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.state = TaskState.NEW
+        self.exception: Optional[BaseException] = None
+        self._done = Signal(sim)
+
+    def wait(self) -> Waitable:
+        """Waitable fired (with this task) when the copy finishes."""
+        return self._done
+
+    def _run(self, transfer: Waitable) -> None:
+        self.state = TaskState.RUNNING
+        transfer.add_callback(self._on_transfer)
+
+    def _on_transfer(self, transfer: Waitable) -> None:
+        self.state = TaskState.DONE if transfer.ok else TaskState.FAILED
+        if not transfer.ok:
+            self.exception = transfer.exception
+        if not self._done.triggered:
+            self._done.succeed(self)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.state = TaskState.FAILED
+        self.exception = exc
+        if not self._done.triggered:
+            self._done.succeed(self)
+
+
+class FileService:
+    """Uniform file operations across the origin and every site."""
+
+    def __init__(self, sim: Simulation, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+
+    def exists(self, url: str) -> bool:
+        site, path = parse_url(url)
+        return self.network.fs(site).exists(path)
+
+    def size(self, url: str) -> float:
+        site, path = parse_url(url)
+        return self.network.fs(site).stat(path).size_bytes
+
+    def remove(self, url: str) -> None:
+        site, path = parse_url(url)
+        self.network.fs(site).delete(path)
+
+    def copy(self, src_url: str, dst_url: str) -> CopyTask:
+        """Start an asynchronous copy; returns the task immediately.
+
+        One endpoint must be the origin (the middleware's star topology);
+        source and destination paths must match (no rename on the wire,
+        like the underlying staging layer).
+        """
+        src_site, src_path = parse_url(src_url)
+        dst_site, dst_path = parse_url(dst_url)
+        task = CopyTask(self.sim, src_url, dst_url)
+        try:
+            if src_path != dst_path:
+                raise FileUrlError(
+                    "staging preserves file names; "
+                    f"{src_path!r} != {dst_path!r}"
+                )
+            transfer = self.network.stage(src_site, dst_site, src_path)
+        except (FileNotFound, FileUrlError, ValueError, KeyError) as exc:
+            task._fail(exc)
+            return task
+        task._run(transfer)
+        return task

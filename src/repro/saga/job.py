@@ -1,0 +1,123 @@
+"""Uniform job handles and the job service (the SAGA access layer).
+
+A :class:`JobService` is created from an access URL such as
+``slurm://stampede-sim`` and bound to the simulated cluster behind it;
+submitting a :class:`~repro.saga.description.JobDescription` yields a
+:class:`SagaJob` whose state follows the uniform SAGA model regardless
+of the dialect underneath. This is the layer RADICAL-Pilot uses to
+submit pilots to heterogeneous resources.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional
+
+from ..cluster import BatchJob, Cluster
+from ..cluster import JobState as NativeState
+from ..des import Signal, Simulation, Waitable
+from .adaptors.base import Adaptor
+from .adaptors.dialects import ADAPTORS
+from .description import JobDescription
+from .states import SAGA_FINAL, SagaState, map_native_state
+
+_URL_RE = re.compile(r"^([a-z]+)://([A-Za-z0-9._-]+)$")
+
+
+class SagaJob:
+    """A uniform handle on one submitted job."""
+
+    def __init__(self, sim: Simulation, service: "JobService",
+                 description: JobDescription) -> None:
+        self.sim = sim
+        self.service = service
+        self.description = description
+        self.state = SagaState.NEW
+        self.native: Optional[BatchJob] = None
+        self._done = Signal(sim)
+        self._callbacks: List[Callable[["SagaJob", SagaState], None]] = []
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in SAGA_FINAL
+
+    def add_callback(self, fn: Callable[["SagaJob", SagaState], None]) -> None:
+        """Register ``fn(job, new_state)`` on every uniform-state change."""
+        self._callbacks.append(fn)
+
+    def wait(self) -> Waitable:
+        """Waitable that fires (with this job) when the job is final."""
+        return self._done
+
+    @property
+    def started_at(self) -> Optional[float]:
+        return self.native.start_time if self.native else None
+
+    @property
+    def ended_at(self) -> Optional[float]:
+        return self.native.end_time if self.native else None
+
+    # -- control ----------------------------------------------------------------
+
+    def cancel(self) -> None:
+        if self.is_final:
+            return
+        if self.native is not None:
+            self.service.adaptor.cancel(self.native)
+        else:  # not yet translated/submitted: finalize locally
+            self._set_state(SagaState.CANCELED)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _on_native(self, native: BatchJob, old: NativeState,
+                   new: NativeState) -> None:
+        mapped = map_native_state(new)
+        if mapped != self.state:
+            self._set_state(mapped)
+
+    def _set_state(self, state: SagaState) -> None:
+        self.state = state
+        self.sim.trace.record(
+            self.sim.now, "saga-job",
+            self.description.name or "saga-job", state.value,
+            resource=self.service.resource_name,
+        )
+        for fn in list(self._callbacks):
+            fn(self, state)
+        if state in SAGA_FINAL and not self._done.triggered:
+            self._done.succeed(self)
+
+
+class JobService:
+    """Access point to one resource through one middleware dialect."""
+
+    def __init__(self, sim: Simulation, url: str, cluster: Cluster) -> None:
+        m = _URL_RE.match(url)
+        if m is None:
+            raise ValueError(f"malformed access URL {url!r}")
+        scheme, host = m.group(1), m.group(2)
+        if scheme not in ADAPTORS:
+            raise ValueError(
+                f"no adaptor for scheme {scheme!r}; known: {sorted(ADAPTORS)}"
+            )
+        if host != cluster.name:
+            raise ValueError(
+                f"URL host {host!r} does not match cluster {cluster.name!r}"
+            )
+        self.sim = sim
+        self.url = url
+        self.resource_name = cluster.name
+        self.adaptor: Adaptor = ADAPTORS[scheme](cluster)
+        self.jobs: List[SagaJob] = []
+
+    def submit(self, description: JobDescription) -> SagaJob:
+        """Submit a uniform description through this service's dialect."""
+        job = SagaJob(self.sim, self, description)
+        job.native = self.adaptor.submit(description, job._on_native)
+        self.jobs.append(job)
+        return job
+
+    def list_jobs(self) -> List[SagaJob]:
+        return list(self.jobs)

@@ -1,0 +1,42 @@
+"""SAGA job state model and its mapping from native batch states.
+
+The SAGA OGF standard defines a small uniform state model; every adaptor
+maps its middleware's native states onto it. That mapping is exactly
+what makes multi-resource submission uniform for the layers above.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..cluster import JobState as NativeState
+
+
+class SagaState(str, enum.Enum):
+    """The uniform job states of the SAGA standard (GFD.90)."""
+
+    NEW = "New"
+    PENDING = "Pending"
+    RUNNING = "Running"
+    DONE = "Done"
+    CANCELED = "Canceled"
+    FAILED = "Failed"
+
+
+SAGA_FINAL = frozenset({SagaState.DONE, SagaState.CANCELED, SagaState.FAILED})
+
+#: native batch state -> uniform SAGA state.
+_NATIVE_TO_SAGA = {
+    NativeState.NEW: SagaState.NEW,
+    NativeState.PENDING: SagaState.PENDING,
+    NativeState.RUNNING: SagaState.RUNNING,
+    NativeState.COMPLETED: SagaState.DONE,
+    NativeState.TIMEOUT: SagaState.FAILED,   # walltime kill surfaces as failure
+    NativeState.CANCELLED: SagaState.CANCELED,
+    NativeState.FAILED: SagaState.FAILED,
+}
+
+
+def map_native_state(state: NativeState) -> SagaState:
+    """Translate a native batch state into the SAGA model."""
+    return _NATIVE_TO_SAGA[state]

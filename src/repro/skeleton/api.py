@@ -1,0 +1,79 @@
+"""The Skeleton API: the facade the AIMES execution manager calls.
+
+Mirrors the paper's step (1): "information is gathered about an
+application via the skeleton API". A :class:`SkeletonAPI` wraps a
+description, materializes it reproducibly, reports planning estimates,
+and can run the preparation step (creating the input files at the
+origin site of a simulated network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..net import Network, ORIGIN
+from .model import ConcreteApplication, SkeletonApp
+
+
+@dataclass(frozen=True)
+class ApplicationRequirements:
+    """The application-side information an execution strategy needs."""
+
+    name: str
+    n_tasks: int
+    n_stages: int
+    max_stage_width: int        # peak cores if fully concurrent
+    max_task_cores: int         # widest single task (floor for pilot size)
+    estimated_compute_seconds: float
+    estimated_longest_task: float
+    total_input_bytes: float
+    total_output_bytes: float
+
+
+class SkeletonAPI:
+    """Programmatic access to one skeleton application."""
+
+    def __init__(self, app: SkeletonApp, seed: int = 0) -> None:
+        self.app = app
+        self.seed = seed
+        self._concrete: Optional[ConcreteApplication] = None
+
+    @property
+    def concrete(self) -> ConcreteApplication:
+        """The materialized application (drawn once, cached)."""
+        if self._concrete is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed)
+            )
+            self._concrete = self.app.materialize(rng)
+        return self._concrete
+
+    def requirements(self) -> ApplicationRequirements:
+        """Summarize the application for the execution manager."""
+        concrete = self.concrete
+        return ApplicationRequirements(
+            name=self.app.name,
+            n_tasks=concrete.n_tasks,
+            n_stages=len(concrete.stages),
+            max_stage_width=self.app.max_stage_width(),
+            max_task_cores=concrete.max_task_cores,
+            estimated_compute_seconds=self.app.estimated_compute_seconds(),
+            estimated_longest_task=self.app.estimated_longest_task(),
+            total_input_bytes=concrete.total_input_bytes,
+            total_output_bytes=sum(
+                t.output_bytes for t in concrete.all_tasks()
+            ),
+        )
+
+    def prepare(self, network: Network) -> int:
+        """Run the preparation step: create input files at the origin.
+
+        Returns the number of files created.
+        """
+        fs = network.fs(ORIGIN)
+        for f in self.concrete.preparation_files:
+            fs.write(f.name, f.size_bytes, now=network.sim.now)
+        return len(self.concrete.preparation_files)

@@ -1,0 +1,124 @@
+"""Tests for the bundle discovery interface (requirement language)."""
+
+import pytest
+
+from repro.bundle import (
+    BundleManager,
+    Constraint,
+    RequirementError,
+    matches,
+    parse_requirements,
+)
+from repro.cluster import Cluster
+from repro.des import Simulation
+from repro.net import Network
+
+
+@pytest.fixture
+def substrate():
+    sim = Simulation(seed=2)
+    net = Network(sim)
+    clusters = {}
+    specs = {
+        "big": (64, 1e7),      # nodes, bandwidth
+        "mid": (16, 5e6),
+        "tiny": (4, 1e6),
+    }
+    for name, (nodes, bw) in specs.items():
+        net.add_site(name, bandwidth_bytes_per_s=bw, latency_s=0.01)
+        clusters[name] = Cluster(sim, name, nodes=nodes, cores_per_node=16,
+                                 submit_overhead=0.0)
+    manager = BundleManager(sim, net)
+    bundle = manager.create_bundle("all", clusters)
+    return sim, manager, bundle
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        cs = parse_requirements("compute.total_cores >= 4096")
+        assert cs == [Constraint("compute.total_cores", ">=", 4096.0)]
+
+    def test_parse_multiple(self):
+        cs = parse_requirements(
+            "compute.total_cores >= 256; "
+            "compute.scheduler_policy == easy-backfill; "
+            "network.bandwidth_bytes_per_s > 2e6"
+        )
+        assert len(cs) == 3
+        assert cs[1].literal == "easy-backfill"
+        assert cs[2].literal == 2e6
+
+    def test_quoted_strings(self):
+        cs = parse_requirements("name == 'big'")
+        assert cs[0].literal == "big"
+
+    def test_rejects_garbage(self):
+        for bad in ("", ";;", "cores ~ 5", "compute.total_cores >="):
+            with pytest.raises(RequirementError):
+                parse_requirements(bad)
+
+
+class TestEvaluation:
+    def test_numeric_and_string_ops(self, substrate):
+        sim, manager, bundle = substrate
+        snap = bundle.query("big")
+        assert matches(snap, parse_requirements("compute.total_cores == 1024"))
+        assert matches(snap, parse_requirements("compute.total_cores >= 1000"))
+        assert not matches(snap, parse_requirements("compute.total_cores < 1000"))
+        assert matches(snap, parse_requirements("name == big"))
+        assert matches(snap, parse_requirements("name != mid"))
+
+    def test_unknown_attribute(self, substrate):
+        sim, manager, bundle = substrate
+        snap = bundle.query("big")
+        with pytest.raises(RequirementError):
+            matches(snap, parse_requirements("compute.flux_capacity > 1"))
+        with pytest.raises(RequirementError):
+            matches(snap, parse_requirements("secrets.key == x"))
+
+    def test_ordering_on_string_rejected(self, substrate):
+        sim, manager, bundle = substrate
+        snap = bundle.query("big")
+        with pytest.raises(RequirementError):
+            matches(snap, parse_requirements("name >= big"))
+
+    def test_numeric_comparison_on_string_attr_rejected(self, substrate):
+        sim, manager, bundle = substrate
+        snap = bundle.query("big")
+        with pytest.raises(RequirementError):
+            matches(snap, parse_requirements("compute.scheduler_policy > 5"))
+
+
+class TestDiscover:
+    def test_tailored_bundle(self, substrate):
+        sim, manager, bundle = substrate
+        tailored = manager.discover(
+            "fast", "compute.total_cores >= 256; "
+            "network.bandwidth_bytes_per_s >= 5e6",
+            from_bundle=bundle,
+        )
+        assert set(tailored.resources()) == {"big", "mid"}
+        # the new bundle shares (does not own) the clusters
+        assert tailored.cluster("big") is bundle.cluster("big")
+
+    def test_discovery_reflects_live_state(self, substrate):
+        sim, manager, bundle = substrate
+        from repro.cluster import BatchJob
+
+        # load "big" so its utilization disqualifies it
+        bundle.cluster("big").submit(
+            BatchJob(cores=1024, runtime=5000, walltime=6000)
+        )
+        sim.run(until=10)
+        tailored = manager.discover(
+            "idle", "compute.utilization < 0.5", from_bundle=bundle
+        )
+        assert "big" not in tailored.resources()
+        assert set(tailored.resources()) == {"mid", "tiny"}
+
+    def test_no_match_raises(self, substrate):
+        sim, manager, bundle = substrate
+        with pytest.raises(ValueError):
+            manager.discover(
+                "impossible", "compute.total_cores > 1e9", from_bundle=bundle
+            )

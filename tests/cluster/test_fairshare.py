@@ -1,0 +1,88 @@
+"""Tests for the fairshare priority policy."""
+
+import pytest
+
+from repro.cluster import BatchJob, Cluster, JobState
+from repro.cluster.fairshare import FairshareTracker
+from repro.des import Simulation
+
+
+def test_validation():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        FairshareTracker(sim, half_life_s=0)
+
+
+def test_charge_and_decay():
+    sim = Simulation()
+    tracker = FairshareTracker(sim, half_life_s=3600)
+    tracker.charge("alice", 1000.0)
+    assert tracker.usage_of("alice") == pytest.approx(1000.0)
+    sim.call_in(3600, lambda: None)
+    sim.run()
+    assert tracker.usage_of("alice") == pytest.approx(500.0)  # one half-life
+    assert tracker.usage_of("nobody") == 0.0
+
+
+def test_charge_accumulates_with_decay():
+    sim = Simulation()
+    tracker = FairshareTracker(sim, half_life_s=3600)
+    tracker.charge("bob", 800.0)
+    sim.call_in(3600, tracker.charge, "bob", 100.0)
+    sim.run()
+    assert tracker.usage_of("bob") == pytest.approx(500.0)
+
+
+def test_priority_age_term():
+    sim = Simulation()
+    tracker = FairshareTracker(sim, age_weight=1.0, fairshare_weight=10.0)
+    young = BatchJob(cores=1, runtime=10, walltime=10, user="u")
+    old = BatchJob(cores=1, runtime=10, walltime=10, user="u")
+    young.submit_time = 3600.0
+    old.submit_time = 0.0
+    assert tracker.priority(old, 7200.0) > tracker.priority(young, 7200.0)
+
+
+def test_priority_penalizes_heavy_user():
+    sim = Simulation()
+    tracker = FairshareTracker(sim)
+    tracker.charge("hog", 1_000_000.0)
+    tracker.charge("light", 1_000.0)
+    hog_job = BatchJob(cores=1, runtime=10, walltime=10, user="hog")
+    light_job = BatchJob(cores=1, runtime=10, walltime=10, user="light")
+    hog_job.submit_time = light_job.submit_time = 0.0
+    assert tracker.priority(light_job, 0.0) > tracker.priority(hog_job, 0.0)
+
+
+def test_listener_charges_on_completion():
+    sim = Simulation()
+    cluster = Cluster(sim, "fs", nodes=1, cores_per_node=8, submit_overhead=0.0)
+    tracker = FairshareTracker(sim)
+    cluster.add_listener(tracker.on_job_state)
+    job = BatchJob(cores=4, runtime=100, walltime=200, user="carol")
+    cluster.submit(job)
+    sim.run()
+    assert tracker.usage_of("carol") == pytest.approx(400.0, rel=0.01)
+
+
+def test_end_to_end_fairshare_reorders_queue():
+    """After a hog's job runs, a light user's queued job jumps ahead."""
+    sim = Simulation()
+    tracker = FairshareTracker(sim, fairshare_weight=100.0)
+    cluster = Cluster(
+        sim, "fs", nodes=1, cores_per_node=8,
+        submit_overhead=0.0, priority_fn=tracker.priority,
+    )
+    cluster.add_listener(tracker.on_job_state)
+    # The hog's first job runs and charges usage.
+    first = BatchJob(cores=8, runtime=1000, walltime=1100, user="hog")
+    cluster.submit(first)
+    sim.run(until=10)
+    # Both users queue behind it; hog submitted earlier.
+    hog2 = BatchJob(cores=8, runtime=50, walltime=60, user="hog")
+    light = BatchJob(cores=8, runtime=50, walltime=60, user="light")
+    cluster.submit(hog2)
+    sim.run(until=20)
+    cluster.submit(light)
+    sim.run()
+    assert light.start_time < hog2.start_time

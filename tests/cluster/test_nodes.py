@@ -1,0 +1,103 @@
+"""Unit and property tests for the node pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import AllocationError, NodePool
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        NodePool(0, 16)
+    with pytest.raises(ValueError):
+        NodePool(4, 0)
+
+
+def test_basic_accounting():
+    pool = NodePool(4, 16)
+    assert pool.total_cores == 64
+    assert pool.free_cores == 64
+    assert pool.utilization == 0.0
+    pool.allocate(1, 20)
+    assert pool.free_cores == 44
+    assert pool.used_cores == 20
+    pool.free(1)
+    assert pool.free_cores == 64
+
+
+def test_allocation_spans_nodes():
+    pool = NodePool(4, 16)
+    placement = pool.allocate(1, 40)
+    assert sum(take for _, take in placement) == 40
+    assert len(placement) >= 3  # 40 cores cannot fit on two 16-core nodes
+
+
+def test_fullest_first_packing():
+    pool = NodePool(3, 16)
+    pool.allocate(1, 10)  # node A now has 6 free
+    placement = pool.allocate(2, 6)
+    # the 6-core request should land on the partially used node
+    assert placement == [(placement[0][0], 6)]
+    assert pool.busy_nodes() == 1
+
+
+def test_over_allocation_rejected():
+    pool = NodePool(2, 8)
+    pool.allocate(1, 10)
+    with pytest.raises(AllocationError):
+        pool.allocate(2, 7)
+    assert pool.free_cores == 6  # failed attempt must not leak cores
+
+
+def test_duplicate_key_rejected():
+    pool = NodePool(2, 8)
+    pool.allocate(1, 2)
+    with pytest.raises(AllocationError):
+        pool.allocate(1, 2)
+
+
+def test_free_unknown_key_rejected():
+    pool = NodePool(2, 8)
+    with pytest.raises(AllocationError):
+        pool.free(99)
+
+
+def test_can_fit():
+    pool = NodePool(2, 8)
+    assert pool.can_fit(16)
+    assert not pool.can_fit(17)
+
+
+def test_allocation_of():
+    pool = NodePool(2, 8)
+    pool.allocate(7, 3)
+    assert pool.allocation_of(7) is not None
+    assert pool.allocation_of(8) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(1, 64), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_conservation_property(ops):
+    """Free + allocated cores always equals capacity; free never negative."""
+    pool = NodePool(8, 8)
+    live = {}
+    key = 0
+    for cores, do_free in ops:
+        if do_free and live:
+            k = next(iter(live))
+            pool.free(k)
+            del live[k]
+        elif cores <= pool.free_cores:
+            key += 1
+            placement = pool.allocate(key, cores)
+            assert sum(t for _, t in placement) == cores
+            live[key] = cores
+        assert 0 <= pool.free_cores <= pool.total_cores
+        assert pool.free_cores + sum(live.values()) == pool.total_cores

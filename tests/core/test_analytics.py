@@ -1,0 +1,92 @@
+"""Tests for session analytics (state durations, concurrency, allocation)."""
+
+import json
+
+import pytest
+
+from repro.bundle import BundleManager
+from repro.cluster import Cluster
+from repro.core import (
+    ExecutionManager,
+    PlannerConfig,
+    Binding,
+    allocation_metrics,
+    concurrency_series,
+    export_trace,
+    peak_concurrency,
+    state_durations,
+)
+from repro.des import Simulation
+from repro.net import Network
+from repro.skeleton import SkeletonAPI, bag_of_tasks
+
+
+@pytest.fixture(scope="module")
+def executed():
+    sim = Simulation(seed=31)
+    net = Network(sim)
+    clusters = {}
+    for name in ("a", "b"):
+        net.add_site(name, bandwidth_bytes_per_s=1e7, latency_s=0.01)
+        clusters[name] = Cluster(sim, name, nodes=4, cores_per_node=4,
+                                 submit_overhead=0.0)
+    bundle = BundleManager(sim, net).create_bundle("pool", clusters)
+    em = ExecutionManager(sim, net, bundle, agent_bootstrap_s=0.0)
+    # 8 tasks on 2 pilots x 4 cores -> exactly one wave of 8
+    api = SkeletonAPI(bag_of_tasks(8, task_duration=300), seed=2)
+    report = em.execute(
+        api, PlannerConfig(binding=Binding.LATE, n_pilots=2)
+    )
+    return sim, report
+
+
+def test_state_durations_units(executed):
+    sim, report = executed
+    totals = state_durations(report.units)
+    # eight units x 300 s of execution each
+    assert totals["EXECUTING"] == pytest.approx(8 * 300, rel=0.05)
+    assert totals.get("STAGING_INPUT", 0) > 0
+
+
+def test_state_durations_with_final_time(executed):
+    sim, report = executed
+    totals = state_durations(report.pilots, final_time=sim.now)
+    assert totals.get("ACTIVE", 0) > 0
+
+
+def test_concurrency_series_shape(executed):
+    sim, report = executed
+    series = concurrency_series(report.units)
+    assert series, "expected a non-empty concurrency series"
+    levels = [lvl for _, lvl in series]
+    assert max(levels) == 8  # full wave in flight at once
+    assert series[-1][1] == 0  # everything drained by the end
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+    assert peak_concurrency(report.units) == 8
+
+
+def test_allocation_metrics(executed):
+    sim, report = executed
+    m = allocation_metrics(report.pilots, report.units, final_time=sim.now)
+    assert m.used_core_s == pytest.approx(8 * 300, rel=0.05)
+    assert m.consumed_core_s >= m.used_core_s
+    assert 0 < m.efficiency <= 1
+
+
+def test_allocation_metrics_empty():
+    m = allocation_metrics([], [])
+    assert m.consumed_core_s == 0
+    assert m.efficiency == 0
+
+
+def test_export_trace_json(executed):
+    sim, report = executed
+    doc = json.loads(export_trace(sim.trace, category="unit"))
+    assert doc, "expected unit trace records"
+    assert all(r["category"] == "unit" for r in doc)
+    sample = doc[0]
+    assert {"time", "category", "entity", "event", "data"} <= set(sample)
+    # full dump also parses
+    full = json.loads(export_trace(sim.trace))
+    assert len(full) >= len(doc)

@@ -1,0 +1,127 @@
+"""Tests for session persistence and energy accounting."""
+
+import json
+
+import pytest
+
+from repro.bundle import BundleManager
+from repro.cluster import Cluster
+from repro.core import (
+    Binding,
+    ExecutionManager,
+    PlannerConfig,
+    allocation_metrics,
+    estimate_energy,
+    load_session,
+    report_energy,
+    report_to_session,
+    save_session,
+    session_from_dict,
+    state_durations,
+)
+from repro.des import Simulation
+from repro.net import Network
+from repro.skeleton import SkeletonAPI, bag_of_tasks
+
+
+@pytest.fixture(scope="module")
+def executed():
+    sim = Simulation(seed=51)
+    net = Network(sim)
+    clusters = {}
+    for name in ("a", "b"):
+        net.add_site(name, bandwidth_bytes_per_s=1e7, latency_s=0.01)
+        clusters[name] = Cluster(sim, name, nodes=4, cores_per_node=8,
+                                 submit_overhead=0.0)
+    bundle = BundleManager(sim, net).create_bundle("pool", clusters)
+    em = ExecutionManager(sim, net, bundle, agent_bootstrap_s=0.0)
+    api = SkeletonAPI(bag_of_tasks(8, task_duration=300), seed=2)
+    report = em.execute(
+        api, PlannerConfig(binding=Binding.LATE, n_pilots=2)
+    )
+    return sim, report
+
+
+class TestSession:
+    def test_roundtrip(self, executed, tmp_path):
+        sim, report = executed
+        path = tmp_path / "session.json"
+        save_session(report, str(path))
+        session = load_session(str(path))
+        assert session.application == report.application
+        assert session.n_tasks == 8
+        assert session.ttc == pytest.approx(report.ttc)
+        assert len(session.pilots) == 2
+        assert len(session.units) == 8
+        assert session.strategy["binding"] == "late"
+        # histories survive intact
+        orig = report.units[0].history.as_list()
+        loaded = session.units[0].history.as_list()
+        assert loaded == [(s, t) for s, t in orig]
+
+    def test_file_is_json(self, executed, tmp_path):
+        sim, report = executed
+        path = tmp_path / "s.json"
+        save_session(report, str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == 1
+        assert "decisions" in data["strategy"]
+
+    def test_version_check(self, executed):
+        sim, report = executed
+        data = report_to_session(report)
+        data["format"] = 42
+        with pytest.raises(ValueError):
+            session_from_dict(data)
+
+    def test_analytics_work_on_reloaded_entities(self, executed, tmp_path):
+        sim, report = executed
+        path = tmp_path / "s.json"
+        save_session(report, str(path))
+        session = load_session(str(path))
+        totals = state_durations(session.units)
+        assert totals["EXECUTING"] == pytest.approx(8 * 300, rel=0.05)
+        metrics = allocation_metrics(
+            session.pilots, session.units,
+            final_time=session.decomposition["t_end"],
+        )
+        assert metrics.used_core_s == pytest.approx(8 * 300, rel=0.05)
+
+
+class TestEnergy:
+    def test_energy_accounting(self, executed):
+        sim, report = executed
+        est = report_energy(report)
+        # 8 tasks x 300 s x 1 core of active burn
+        assert est.active_core_s == pytest.approx(2400, rel=0.05)
+        assert est.idle_core_s >= 0
+        assert est.total_joules == pytest.approx(
+            est.active_joules + est.idle_joules
+        )
+        assert est.total_kwh == pytest.approx(est.total_joules / 3.6e6)
+        assert 0 <= est.idle_fraction < 1
+
+    def test_custom_power_model(self, executed):
+        sim, report = executed
+        est = report_energy(report, active_watts=100.0, idle_watts=0.0)
+        assert est.idle_joules == 0
+        assert est.active_joules == pytest.approx(est.active_core_s * 100)
+        with pytest.raises(ValueError):
+            report_energy(report, active_watts=-1)
+
+    def test_empty_execution(self):
+        est = estimate_energy([], [])
+        assert est.total_joules == 0
+        assert est.idle_fraction == 0
+
+    def test_idle_energy_reflects_unused_allocation(self, executed):
+        sim, report = executed
+        est = report_energy(report)
+        metrics = allocation_metrics(
+            report.pilots, report.units,
+            final_time=report.decomposition.t_end,
+        )
+        # idle core-seconds = consumed - used, same accounting
+        assert est.idle_core_s == pytest.approx(
+            metrics.consumed_core_s - metrics.used_core_s, rel=0.01
+        )

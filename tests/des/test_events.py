@@ -1,0 +1,111 @@
+"""Unit tests for the event queue and tracer."""
+
+import pytest
+
+from repro.des.errors import SchedulingError
+from repro.des.events import EventQueue, Tracer
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(5.0, fired.append, ("b",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(9.0, fired.append, ("c",))
+    times = []
+    while q:
+        ev = q.pop()
+        times.append(ev.time)
+        ev.callback(*ev.args)
+    assert times == [1.0, 5.0, 9.0]
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fifo_tiebreak():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(3.0, order.append, (i,))
+    while q:
+        ev = q.pop()
+        ev.callback(*ev.args)
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    q = EventQueue()
+    order = []
+    q.push(1.0, order.append, ("low",), priority=10)
+    q.push(1.0, order.append, ("high",), priority=0)
+    while q:
+        ev = q.pop()
+        ev.callback(*ev.args)
+    assert order == ["high", "low"]
+
+
+def test_cancel_removes_from_live_count():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    assert len(q) == 1
+    q.cancel(ev)
+    assert len(q) == 0
+    assert not q
+    # double cancel is a no-op
+    q.cancel(ev)
+    assert len(q) == 0
+
+
+def test_cancelled_event_skipped_by_pop():
+    q = EventQueue()
+    ev1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(ev1)
+    assert q.pop().time == 2.0
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev1 = q.push(1.0, lambda: None)
+    q.push(4.0, lambda: None)
+    q.cancel(ev1)
+    assert q.peek_time() == 4.0
+
+
+def test_peek_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_nan_time_rejected():
+    with pytest.raises(SchedulingError):
+        EventQueue().push(float("nan"), lambda: None)
+
+
+def test_tracer_record_and_query():
+    t = Tracer()
+    t.record(0.0, "pilot", "p1", "NEW")
+    t.record(1.0, "pilot", "p1", "ACTIVE", cores=32)
+    t.record(2.0, "unit", "u1", "DONE")
+    assert len(t.records) == 3
+    assert [r.event for r in t.query(category="pilot")] == ["NEW", "ACTIVE"]
+    assert t.first(entity="p1").event == "NEW"
+    assert t.last(entity="p1").event == "ACTIVE"
+    assert t.last(entity="p1").data["cores"] == 32
+    assert t.query(event="MISSING") == []
+    assert t.first(event="MISSING") is None
+
+
+def test_tracer_disable_enable():
+    t = Tracer()
+    t.disable()
+    t.record(0.0, "x", "y", "z")
+    assert t.records == []
+    t.enable()
+    t.record(0.0, "x", "y", "z")
+    assert len(t.records) == 1
+    t.clear()
+    assert t.records == []

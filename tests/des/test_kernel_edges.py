@@ -1,0 +1,78 @@
+"""Edge-case tests for kernel semantics not covered elsewhere."""
+
+import pytest
+
+from repro.des import Simulation, SimulationError
+
+
+def test_run_is_not_reentrant():
+    sim = Simulation()
+    errors = []
+
+    def evil():
+        try:
+            sim.run()
+        except SimulationError as e:
+            errors.append(str(e))
+
+    sim.call_in(1.0, evil)
+    sim.run()
+    assert errors and "re-entrant" in errors[0]
+
+
+def test_run_process_until_deadline():
+    sim = Simulation()
+
+    def slow():
+        yield sim.timeout(1000)
+
+    # external events keep the queue non-empty past the deadline
+    for i in range(200):
+        sim.call_in(float(i), lambda: None)
+    p = sim.process(slow())
+    with pytest.raises(SimulationError, match="did not finish"):
+        sim.run_process(p, until=100.0)
+
+
+def test_tracer_disabled_during_simulation():
+    sim = Simulation()
+    sim.trace.disable()
+    sim.call_in(1.0, lambda: sim.trace.record(sim.now, "c", "e", "EV"))
+    sim.run()
+    assert sim.trace.records == []
+
+
+def test_timeout_zero_fires_immediately_in_order():
+    sim = Simulation()
+    order = []
+
+    def a():
+        yield sim.timeout(0)
+        order.append("a")
+
+    def b():
+        yield sim.timeout(0)
+        order.append("b")
+
+    sim.process(a())
+    sim.process(b())
+    sim.run()
+    assert order == ["a", "b"]  # deterministic FIFO at equal time
+    assert sim.now == 0.0
+
+
+def test_deeply_chained_processes_do_not_recurse():
+    """1000 already-triggered waits resume via the queue, not the stack."""
+    sim = Simulation()
+    done = []
+
+    def chain(n):
+        if n > 0:
+            yield sim.process(chain(n - 1))
+        done.append(n)
+        return n
+
+    sim.process(chain(1000))
+    sim.run()
+    assert len(done) == 1001
+    assert done[0] == 0 and done[-1] == 1000

@@ -1,0 +1,104 @@
+"""Smoke tests for the ablation studies (minimal repetitions)."""
+
+import pytest
+
+from repro.experiments import (
+    data_affinity_ablation,
+    heterogeneity_ablation,
+    nonuniform_tasks_study,
+    pilot_count_sweep,
+    pool_scaling_study,
+    render_ablation,
+    scheduler_ablation,
+)
+
+
+def test_pilot_count_sweep_structure():
+    points = pilot_count_sweep(n_tasks=8, pilot_counts=(1, 3), reps=1, seed=1)
+    assert [p.label for p in points] == ["1 pilot(s)", "3 pilot(s)"]
+    assert all(p.n_runs == 1 for p in points)
+    assert all(p.ttc_mean > 0 for p in points)
+    assert all(p.aux_name == "Tw" for p in points)
+
+
+def test_scheduler_ablation_structure():
+    points = scheduler_ablation(n_tasks=8, reps=1, seed=2)
+    assert {p.label for p in points} == {"backfill", "round-robin"}
+
+
+def test_heterogeneity_ablation_structure():
+    points = heterogeneity_ablation(n_tasks=8, reps=1, seed=3)
+    assert len(points) == 2
+    assert points[0].label.startswith("diverse")
+
+
+def test_data_affinity_structure():
+    points = data_affinity_ablation(n_tasks=8, input_mb=10, reps=1, seed=4)
+    assert {p.label for p in points} == {"optimize=ttc", "optimize=data"}
+    assert all(p.aux_name == "Ts" for p in points)
+    assert all(p.aux_mean > 0 for p in points)  # staging took time
+
+
+def test_pool_scaling_structure():
+    points = pool_scaling_study(
+        n_tasks=8, pool_size=5, pilot_counts=(1, 3, 9), reps=1, seed=5
+    )
+    # a 9-pilot config cannot run on a 5-resource pool and is skipped
+    assert [p.label for p in points] == ["1/5 pilots", "3/5 pilots"]
+
+
+def test_nonuniform_structure():
+    points = nonuniform_tasks_study(n_tasks=8, reps=1, seed=6)
+    assert len(points) == 2
+    assert all("mixed cores" in p.label for p in points)
+
+
+def test_render_handles_aux_names():
+    points = data_affinity_ablation(n_tasks=8, input_mb=10, reps=1, seed=7)
+    text = render_ablation("t", points)
+    assert "Ts mean" in text
+    assert "Tw mean" not in text
+
+
+def test_determinism():
+    a = pilot_count_sweep(n_tasks=8, pilot_counts=(1,), reps=1, seed=9)
+    b = pilot_count_sweep(n_tasks=8, pilot_counts=(1,), reps=1, seed=9)
+    assert a[0].ttc_mean == b[0].ttc_mean
+
+
+def test_binding_rationale_structure():
+    from repro.experiments import binding_rationale_study
+
+    points = binding_rationale_study(n_tasks=8, reps=1, seed=10)
+    labels = [p.label for p in points]
+    assert len(points) == 3
+    assert any("discarded" in l for l in labels)
+    assert all(p.ttc_mean > 0 for p in points)
+
+
+def test_emergent_vs_sampled_structure():
+    from repro.experiments import emergent_vs_sampled_study
+
+    cmp = emergent_vs_sampled_study(n_pairs=4, seed=12)
+    assert cmp.n_pairs == 4
+    assert -1 <= cmp.emergent_corr <= 1
+    assert -1 <= cmp.sampled_corr <= 1
+    assert cmp.emergent_mean >= 0 and cmp.sampled_mean >= 0
+    assert "emergent model" in cmp.render()
+
+
+def test_energy_study_structure():
+    from repro.experiments import energy_study
+
+    points = energy_study(n_tasks=8, reps=1, seed=14)
+    assert len(points) == 2
+    assert all(p.aux_name == "kJ" for p in points)
+    assert all(p.aux_mean > 0 for p in points)
+
+
+def test_locality_study_structure():
+    from repro.experiments import locality_study
+
+    points = locality_study(n_map_tasks=8, intermediate_mb=5, reps=1, seed=18)
+    assert {p.label for p in points} == {"backfill", "locality"}
+    assert all(p.aux_name == "Ts" for p in points)

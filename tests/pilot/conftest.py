@@ -1,0 +1,32 @@
+"""Shared fixtures for pilot-layer tests: a small two-resource substrate."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.des import Simulation
+from repro.net import Network
+from repro.pilot import PilotManager, UnitManager
+
+
+class Substrate:
+    """A kernel, two idle clusters, and the star network between them."""
+
+    def __init__(self, seed=0, nodes=4, cpn=16):
+        self.sim = Simulation(seed=seed)
+        self.network = Network(self.sim)
+        self.clusters = {}
+        for name in ("resA", "resB"):
+            self.network.add_site(name, bandwidth_bytes_per_s=1e7, latency_s=0.01)
+            self.clusters[name] = Cluster(
+                self.sim, name, nodes=nodes, cores_per_node=cpn,
+                submit_overhead=0.0,
+            )
+        self.pilot_manager = PilotManager(self.sim, self.clusters)
+
+    def unit_manager(self, scheduler="backfill"):
+        return UnitManager(self.sim, self.network, scheduler=scheduler)
+
+
+@pytest.fixture
+def substrate():
+    return Substrate()

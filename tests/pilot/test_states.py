@@ -1,0 +1,72 @@
+"""Tests for the pilot/unit state models and histories."""
+
+import pytest
+
+from repro.pilot import (
+    IllegalUnitTransition,
+    StateHistory,
+    UnitState,
+    check_unit_transition,
+)
+
+
+def test_nominal_unit_path_legal():
+    path = [
+        UnitState.NEW,
+        UnitState.UNSCHEDULED,
+        UnitState.SCHEDULING,
+        UnitState.STAGING_INPUT,
+        UnitState.PENDING_EXECUTION,
+        UnitState.EXECUTING,
+        UnitState.STAGING_OUTPUT,
+        UnitState.DONE,
+    ]
+    for old, new in zip(path, path[1:]):
+        check_unit_transition(old, new)
+
+
+def test_failed_reachable_from_any_nonfinal():
+    for state in (
+        UnitState.NEW,
+        UnitState.UNSCHEDULED,
+        UnitState.SCHEDULING,
+        UnitState.STAGING_INPUT,
+        UnitState.PENDING_EXECUTION,
+        UnitState.EXECUTING,
+        UnitState.STAGING_OUTPUT,
+    ):
+        check_unit_transition(state, UnitState.FAILED)
+
+
+def test_failed_not_reachable_from_final():
+    with pytest.raises(IllegalUnitTransition):
+        check_unit_transition(UnitState.DONE, UnitState.FAILED)
+    with pytest.raises(IllegalUnitTransition):
+        check_unit_transition(UnitState.CANCELED, UnitState.FAILED)
+
+
+def test_restart_transition_allowed():
+    check_unit_transition(UnitState.FAILED, UnitState.UNSCHEDULED)
+
+
+def test_skipping_states_rejected():
+    with pytest.raises(IllegalUnitTransition):
+        check_unit_transition(UnitState.NEW, UnitState.EXECUTING)
+    with pytest.raises(IllegalUnitTransition):
+        check_unit_transition(UnitState.STAGING_INPUT, UnitState.EXECUTING)
+    with pytest.raises(IllegalUnitTransition):
+        check_unit_transition(UnitState.DONE, UnitState.UNSCHEDULED)
+
+
+def test_state_history_queries():
+    h = StateHistory()
+    h.append("NEW", 0.0)
+    h.append("ACTIVE", 10.0)
+    h.append("ACTIVE", 20.0)  # re-entry
+    assert h.timestamp("NEW") == 0.0
+    assert h.timestamp("ACTIVE") == 10.0
+    assert h.last_timestamp("ACTIVE") == 20.0
+    assert h.timestamp("MISSING") is None
+    assert h.duration_between("NEW", "ACTIVE") == 10.0
+    assert h.duration_between("NEW", "MISSING") is None
+    assert h.as_list() == [("NEW", 0.0), ("ACTIVE", 10.0), ("ACTIVE", 20.0)]

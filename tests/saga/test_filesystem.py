@@ -1,0 +1,86 @@
+"""Tests for the SAGA-style file service."""
+
+import pytest
+
+from repro.des import Simulation
+from repro.net import Network, ORIGIN
+from repro.saga import FileService, FileUrlError, TaskState, parse_url
+
+
+@pytest.fixture
+def service():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_site("siteA", bandwidth_bytes_per_s=1000.0, latency_s=0.0)
+    net.fs(ORIGIN).write("in.dat", 5000, now=0)
+    return sim, net, FileService(sim, net)
+
+
+def test_parse_url():
+    assert parse_url("origin://a/b.dat") == ("origin", "a/b.dat")
+    with pytest.raises(FileUrlError):
+        parse_url("no-scheme-here")
+
+
+def test_exists_size_remove(service):
+    sim, net, fs = service
+    assert fs.exists("origin://in.dat")
+    assert fs.size("origin://in.dat") == 5000
+    assert not fs.exists("siteA://in.dat")
+    fs.remove("origin://in.dat")
+    assert not fs.exists("origin://in.dat")
+
+
+def test_copy_success(service):
+    sim, net, fs = service
+    task = fs.copy("origin://in.dat", "siteA://in.dat")
+    assert task.state is TaskState.RUNNING
+    sim.run()
+    assert task.state is TaskState.DONE
+    assert fs.exists("siteA://in.dat")
+    # 5000 B at 1000 B/s
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_copy_wait_waitable(service):
+    sim, net, fs = service
+    task = fs.copy("origin://in.dat", "siteA://in.dat")
+    got = []
+
+    def waiter():
+        t = yield task.wait()
+        got.append(t.state)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [TaskState.DONE]
+
+
+def test_copy_missing_source_fails_task(service):
+    sim, net, fs = service
+    task = fs.copy("origin://ghost.dat", "siteA://ghost.dat")
+    assert task.state is TaskState.FAILED
+    assert task.exception is not None
+
+
+def test_copy_rename_rejected(service):
+    sim, net, fs = service
+    task = fs.copy("origin://in.dat", "siteA://renamed.dat")
+    assert task.state is TaskState.FAILED
+
+
+def test_copy_between_sites_fails(service):
+    sim, net, fs = service
+    net.add_site("siteB")
+    net.fs("siteA").write("x.dat", 10, now=0)
+    task = fs.copy("siteA://x.dat", "siteB://x.dat")
+    assert task.state is TaskState.FAILED  # star topology: origin required
+
+
+def test_copy_back_to_origin(service):
+    sim, net, fs = service
+    net.fs("siteA").write("out.dat", 1000, now=0)
+    task = fs.copy("siteA://out.dat", "origin://out.dat")
+    sim.run()
+    assert task.state is TaskState.DONE
+    assert fs.exists("origin://out.dat")

@@ -1,0 +1,141 @@
+"""Unit and property tests for attribute samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skeleton import (
+    Constant,
+    DistributionError,
+    LogNormal,
+    Polynomial,
+    TruncatedGaussian,
+    Uniform,
+    parse_sampler,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestConstant:
+    def test_sample_and_mean(self):
+        c = Constant(42.0)
+        assert c.sample(RNG) == 42.0
+        assert c.mean() == 42.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Constant(-1)
+
+
+class TestUniform:
+    def test_bounds_respected(self):
+        u = Uniform(10, 20)
+        xs = [u.sample(RNG) for _ in range(500)]
+        assert all(10 <= x <= 20 for x in xs)
+        assert u.mean() == 15
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            Uniform(20, 10)
+        with pytest.raises(DistributionError):
+            Uniform(-5, 10)
+
+
+class TestTruncatedGaussian:
+    def test_paper_parameters(self):
+        g = TruncatedGaussian(mu=900, sigma=300, low=60, high=1800)
+        xs = np.array([g.sample(RNG) for _ in range(2000)])
+        assert xs.min() >= 60
+        assert xs.max() <= 1800
+        assert abs(xs.mean() - 900) < 30  # symmetric truncation keeps the mean
+        assert g.mean() == 900
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            TruncatedGaussian(900, -1, 60, 1800)
+        with pytest.raises(DistributionError):
+            TruncatedGaussian(900, 300, 1800, 60)
+        with pytest.raises(DistributionError):
+            TruncatedGaussian(5000, 300, 60, 1800)
+
+    def test_degenerate_sigma_zero(self):
+        g = TruncatedGaussian(900, 0, 60, 1800)
+        assert g.sample(RNG) == 900
+
+
+class TestLogNormal:
+    def test_bounds_and_mean(self):
+        ln = LogNormal(mu=np.log(100), sigma=0.5, low=10, high=1000)
+        xs = [ln.sample(RNG) for _ in range(500)]
+        assert all(10 <= x <= 1000 for x in xs)
+        expected = np.exp(np.log(100) + 0.125)
+        assert ln.mean() == pytest.approx(expected)
+
+
+class TestPolynomial:
+    def test_evaluates_context(self):
+        p = Polynomial("input_size", (10.0, 2.0))  # 10 + 2x
+        assert p.sample(RNG, {"input_size": 5.0}) == 20.0
+
+    def test_quadratic(self):
+        p = Polynomial("duration", (0.0, 0.0, 1.0))  # x^2
+        assert p.sample(RNG, {"duration": 3.0}) == 9.0
+
+    def test_negative_clamped_to_zero(self):
+        p = Polynomial("x", (-100.0,))
+        assert p.sample(RNG, {"x": 1.0}) == 0.0
+
+    def test_missing_context_raises(self):
+        p = Polynomial("x", (1.0,))
+        with pytest.raises(DistributionError):
+            p.sample(RNG)
+        with pytest.raises(DistributionError):
+            p.sample(RNG, {"y": 1.0})
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(DistributionError):
+            Polynomial("x", ())
+
+
+class TestParseSampler:
+    def test_passthrough(self):
+        c = Constant(5)
+        assert parse_sampler(c) is c
+        assert parse_sampler(7).value == 7.0
+        assert parse_sampler("42").value == 42.0
+
+    def test_specs(self):
+        assert isinstance(parse_sampler("uniform(1, 2)"), Uniform)
+        g = parse_sampler("gauss(900, 300, 60, 1800)")
+        assert isinstance(g, TruncatedGaussian)
+        assert g.mu == 900
+        assert isinstance(parse_sampler("lognormal(6.8, 0.7)"), LogNormal)
+        p = parse_sampler("poly(input_size, 0.5, 10)")
+        assert isinstance(p, Polynomial)
+        assert p.variable == "input_size"
+        assert p.coefficients == (0.5, 10.0)
+        assert isinstance(parse_sampler("constant(3)"), Constant)
+        assert isinstance(parse_sampler("normal(0, 1, -1, 1)"), TruncatedGaussian)
+
+    def test_bad_specs(self):
+        for bad in ("nope(1)", "uniform(1)", "gauss(1,2)", "poly(x)",
+                    "uniform(a, b)", "wibble"):
+            with pytest.raises(DistributionError):
+                parse_sampler(bad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mu=st.floats(100, 1000),
+    sigma=st.floats(0, 500),
+    pad=st.floats(1, 500),
+)
+def test_truncated_gaussian_always_within_bounds(mu, sigma, pad):
+    low, high = mu - pad, mu + pad
+    g = TruncatedGaussian(mu=mu, sigma=sigma, low=low, high=high)
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        x = g.sample(rng)
+        assert low <= x <= high
