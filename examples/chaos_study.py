@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Chaos study: late binding's robustness, measured under injected faults.
+
+The same seeded fault plan — the first pilot is killed 10 simulated
+minutes into the run — is enacted against two execution strategies:
+
+* early binding, one pilot: every task is bound to the pilot that dies;
+* late binding, three pilots: tasks re-bind to the survivors.
+
+A second pass gives the early-bound run a RecoveryPolicy, showing what a
+resubmission budget buys back. Each run prints its TTC decomposition
+(including lost compute and restart counts) and its fault-log digest —
+re-running this script reproduces the digests exactly.
+
+Run:  python examples/chaos_study.py
+"""
+
+from repro.core import Binding, PlannerConfig, RecoveryPolicy, render_report_timeline
+from repro.experiments import build_environment
+from repro.faults import FaultInjector, FaultPlan, KillPilot
+from repro.skeleton import SkeletonAPI, paper_skeleton
+
+SEED = 2016
+N_TASKS = 64
+PLAN = FaultPlan(seed=7, actions=(KillPilot(at=600.0, index=0),))
+
+
+def run(binding, n_pilots, recovery=None):
+    env = build_environment(seed=SEED)
+    env.warm_up(4 * 3600)
+    injector = FaultInjector(
+        env.sim, PLAN,
+        pilot_manager=env.execution_manager.pilot_manager,
+        network=env.network,
+    )
+    env.execution_manager.attach_faults(injector)
+    skeleton = SkeletonAPI(paper_skeleton(N_TASKS, gaussian=False), seed=3)
+    config = PlannerConfig(
+        binding=binding,
+        n_pilots=n_pilots,
+        unit_scheduler="direct" if binding is Binding.EARLY else "backfill",
+    )
+    return env.execution_manager.execute(skeleton, config, recovery=recovery)
+
+
+def show(title, report):
+    d = report.decomposition
+    verdict = "COMPLETED" if report.succeeded else "FAILED"
+    print(f"\n--- {title}: {verdict} ---")
+    print(report.summary())
+    print(report.fault_log.summary())
+    print(
+        f"lost compute {d.t_lost:.0f}s, restarts {d.restarts}, "
+        f"resubmissions {len(report.recoveries)}, "
+        f"done/failed/canceled {d.units_done}/{d.units_failed}/{d.units_canceled}"
+    )
+
+
+def main() -> None:
+    print(f"Fault plan (seed {PLAN.seed}): kill pilot #0 at t+10min")
+
+    early = run(Binding.EARLY, n_pilots=1)
+    show("early binding, 1 pilot, no recovery", early)
+
+    rescued = run(
+        Binding.EARLY, n_pilots=1,
+        recovery=RecoveryPolicy(max_resubmissions=2, backoff_s=120.0),
+    )
+    show("early binding, 1 pilot, resubmission budget 2", rescued)
+
+    late = run(Binding.LATE, n_pilots=3)
+    show("late binding, 3 pilots, no recovery", late)
+    print()
+    print(render_report_timeline(late))
+
+    print(
+        "\nSame fault, opposite outcomes: late binding over several "
+        "pilots absorbs the loss;\nearly binding needs an explicit "
+        "recovery budget to finish at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,8 +16,10 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+import os
+
 from .cluster import PRESETS
-from .core import Binding, PlannerConfig
+from .core import Binding, PlannerConfig, RecoveryPolicy
 from .experiments import (
     binding_rationale_study,
     build_environment,
@@ -37,8 +39,25 @@ from .experiments import (
 )
 from .experiments import calibrate_all, render_calibration
 from .experiments.io import load_campaign, save_campaign
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    PRESET_NAMES,
+    preset_plan,
+)
 from .pilot import ComputePilotDescription, PilotManager
 from .skeleton import PAPER_TASK_COUNTS, SkeletonAPI, paper_skeleton
+
+
+def _load_fault_plan(spec: str, seed: Optional[int]) -> FaultPlan:
+    """Resolve a --faults value: a JSON plan file or a preset name."""
+    if os.path.exists(spec) or spec.endswith(".json"):
+        plan = FaultPlan.load(spec)
+        if seed is not None:
+            plan = FaultPlan(seed=seed, actions=plan.actions)
+        return plan
+    return preset_plan(spec, seed=seed if seed is not None else 0)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -138,10 +157,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_pilots=args.pilots,
         unit_scheduler="direct" if binding is Binding.EARLY else "backfill",
     )
-    report = env.execution_manager.execute(skeleton, config)
+    recovery = None
+    if args.faults:
+        try:
+            plan = _load_fault_plan(args.faults, args.fault_seed)
+        except (FaultPlanError, OSError) as exc:
+            print(f"error: --faults {args.faults!r}: {exc}", file=sys.stderr)
+            return 2
+        injector = FaultInjector(
+            env.sim,
+            plan,
+            pilot_manager=env.execution_manager.pilot_manager,
+            network=env.network,
+        )
+        env.execution_manager.attach_faults(injector)
+        if args.max_resubmit > 0:
+            recovery = RecoveryPolicy(max_resubmissions=args.max_resubmit)
+    report = env.execution_manager.execute(skeleton, config, recovery=recovery)
     print(report.strategy.describe())
     print()
     print(report.summary())
+    if report.fault_log is not None:
+        print()
+        print(report.fault_log.summary())
     if args.timeline:
         from .core import render_report_timeline
 
@@ -204,6 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print an ASCII execution timeline")
     p.add_argument("--save", default=None,
                    help="save the execution session to this JSON file")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject faults: a FaultPlan JSON file or a preset "
+                        f"name ({', '.join(PRESET_NAMES)})")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="override the fault plan's RNG seed")
+    p.add_argument("--max-resubmit", type=int, default=2,
+                   help="pilot resubmission budget under --faults "
+                        "(0 disables recovery)")
 
     return parser
 

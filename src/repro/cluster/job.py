@@ -35,7 +35,9 @@ FINAL_STATES = frozenset(
 
 #: Legal state transitions; anything else is a simulator bug.
 _TRANSITIONS: dict[JobState, frozenset[JobState]] = {
-    JobState.NEW: frozenset({JobState.PENDING, JobState.CANCELLED}),
+    JobState.NEW: frozenset(
+        {JobState.PENDING, JobState.CANCELLED, JobState.FAILED}
+    ),
     JobState.PENDING: frozenset(
         {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}
     ),

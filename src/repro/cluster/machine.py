@@ -143,6 +143,28 @@ class Cluster:
             self._transition(job, JobState.CANCELLED)
         # cancelling a final job is a no-op
 
+    def kill_job(self, job: BatchJob) -> None:
+        """Abort one job as a *resource* failure (node crash, OOM kill).
+
+        Unlike :meth:`cancel`, the job ends FAILED — the state the SAGA
+        layer maps to a pilot death, which is what the fault injector
+        needs to kill a pilot mid-run. Killing a final job is a no-op.
+        """
+        if job.state is JobState.PENDING:
+            self._pending.remove(job)
+            self._transition(job, JobState.FAILED)
+        elif job.state is JobState.RUNNING:
+            _, _, end_event = self._running.pop(job.uid)
+            self.sim.cancel(end_event)
+            self.pool.free(job.uid)
+            job.end_time = self.sim.now
+            self.killed_jobs += 1
+            self._transition(job, JobState.FAILED)
+            self._schedule_dispatch()
+        elif job.state is JobState.NEW:
+            self._transition(job, JobState.FAILED)
+        # killing a final job is a no-op
+
     @property
     def is_offline(self) -> bool:
         return self.sim.now < self._offline_until
@@ -188,8 +210,8 @@ class Cluster:
     # -- internal machinery ----------------------------------------------------
 
     def _enqueue(self, job: BatchJob) -> None:
-        if job.state is JobState.CANCELLED:
-            return  # cancelled during the submit overhead window
+        if job.state in (JobState.CANCELLED, JobState.FAILED):
+            return  # cancelled/killed during the submit overhead window
         job.submit_time = self.sim.now
         self._arrival_order[job.uid] = self._arrival_seq
         self._arrival_seq += 1

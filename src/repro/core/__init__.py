@@ -24,7 +24,13 @@ from .energy import (
     estimate_energy,
     report_energy,
 )
-from .execution_manager import ExecutionError, ExecutionManager, ExecutionReport
+from .execution_manager import (
+    ExecutionError,
+    ExecutionManager,
+    ExecutionReport,
+    RecoveryEvent,
+    RecoveryPolicy,
+)
 from .session import (
     Session,
     load_session,
@@ -38,6 +44,7 @@ from .instrumentation import (
     TTCDecomposition,
     decompose,
     execution_intervals,
+    lost_intervals,
     staging_intervals,
     unit_intervals,
 )
@@ -84,6 +91,8 @@ __all__ = [
     "IntrospectionError",
     "PlannerConfig",
     "PlanningError",
+    "RecoveryEvent",
+    "RecoveryPolicy",
     "Session",
     "TRP_BASE_S",
     "TRP_PER_TASK_S",
@@ -96,6 +105,7 @@ __all__ = [
     "estimate_tx_s",
     "execution_intervals",
     "load_session",
+    "lost_intervals",
     "report_energy",
     "report_to_session",
     "merge_intervals",

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from ..bundle import ResourceBundle
 from ..des import Process, Simulation
+from ..faults import FaultLog
 from ..net import Network
 from ..pilot import (
     ComputePilot,
@@ -29,6 +30,7 @@ from ..pilot import (
     ComputeUnit,
     ComputeUnitDescription,
     PilotManager,
+    PilotState,
     UnitManager,
     UnitState,
 )
@@ -37,6 +39,44 @@ from .adaptive import AdaptationEvent, AdaptationPolicy, PilotReinforcer
 from .instrumentation import TTCDecomposition, decompose
 from .planner import PlannerConfig, derive_strategy
 from .strategy import ExecutionStrategy
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How hard the Execution Manager fights back when pilots die.
+
+    A failed pilot (resource error, walltime kill, injected fault) may be
+    replaced by a fresh submission of the same description, up to
+    ``max_resubmissions`` replacements per execution, each delayed by an
+    exponentially growing backoff. Canceled and cleanly finished pilots
+    are never replaced.
+    """
+
+    max_resubmissions: int = 2
+    backoff_s: float = 60.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_resubmissions < 0:
+            raise ValueError("max_resubmissions must be non-negative")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the ``attempt``-th replacement (0-based)."""
+        return self.backoff_s * (self.backoff_factor ** attempt)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One pilot resubmission enacted by the recovery machinery."""
+
+    time: float
+    resource: str
+    attempt: int        # 1-based replacement count within this execution
+    backoff_s: float
 
 
 @dataclass
@@ -50,6 +90,8 @@ class ExecutionReport:
     pilots: List[ComputePilot] = field(repr=False, default_factory=list)
     units: List[ComputeUnit] = field(repr=False, default_factory=list)
     adaptations: List[AdaptationEvent] = field(default_factory=list)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    fault_log: Optional[FaultLog] = field(repr=False, default=None)
 
     @property
     def ttc(self) -> float:
@@ -61,7 +103,7 @@ class ExecutionReport:
 
     def summary(self) -> str:
         d = self.decomposition
-        return (
+        line = (
             f"{self.application}: {self.n_tasks} tasks, "
             f"{self.strategy.binding.value}/{self.strategy.unit_scheduler}/"
             f"{self.strategy.n_pilots}p -> TTC {d.ttc:.0f}s "
@@ -69,6 +111,12 @@ class ExecutionReport:
             f"Trp {d.trp:.0f}s; done {d.units_done}/{self.n_tasks}, "
             f"restarts {d.restarts})"
         )
+        if d.n_faults or self.recoveries:
+            line += (
+                f" [faults {d.n_faults}, lost {d.t_lost:.0f}s, "
+                f"resubmissions {len(self.recoveries)}]"
+            )
+        return line
 
 
 class ExecutionError(Exception):
@@ -85,6 +133,9 @@ class ExecutionManager:
         bundle: ResourceBundle,
         access_schemas: Optional[Dict[str, str]] = None,
         agent_bootstrap_s: float = 60.0,
+        recovery: Optional[RecoveryPolicy] = None,
+        submit_retries: int = 3,
+        submit_backoff_s: float = 30.0,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -92,9 +143,27 @@ class ExecutionManager:
         self.access_schemas = access_schemas or {}
         clusters = {name: bundle.cluster(name) for name in bundle.resources()}
         self.pilot_manager = PilotManager(
-            sim, clusters, bootstrap_s=agent_bootstrap_s
+            sim, clusters, bootstrap_s=agent_bootstrap_s,
+            submit_retries=submit_retries, submit_backoff_s=submit_backoff_s,
         )
+        #: default recovery policy for executions (None: no resubmission).
+        self.recovery = recovery
+        #: attached fault injector, if the run is under chaos (see
+        #: :meth:`attach_faults`); its log is woven into every report.
+        self.fault_injector = None
         self.reports: List[ExecutionReport] = []
+
+    def attach_faults(self, injector, arm: bool = True):
+        """Attach (and by default arm) a fault injector to this manager.
+
+        Subsequent reports carry the injector's :class:`FaultLog` slice
+        for their execution window, and the TTC decomposition counts the
+        faults that landed inside the run.
+        """
+        self.fault_injector = injector
+        if arm:
+            injector.arm()
+        return injector
 
     # -- public API ------------------------------------------------------------------
 
@@ -104,16 +173,20 @@ class ExecutionManager:
         config: Optional[PlannerConfig] = None,
         strategy: Optional[ExecutionStrategy] = None,
         adaptation: Optional[AdaptationPolicy] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> Process:
         """Start an execution; returns a Process whose value is the report.
 
         Either pass a :class:`PlannerConfig` (the planner derives the
         strategy, the normal path) or a fully resolved strategy. With an
         :class:`AdaptationPolicy`, the strategy may be revised during
-        execution (backup pilots on stalled starts).
+        execution (backup pilots on stalled starts). With a
+        :class:`RecoveryPolicy` (or one set on the manager), failed
+        pilots are replaced up to the policy's resubmission budget.
         """
         return self.sim.process(
-            self._run(skeleton, config, strategy, adaptation),
+            self._run(skeleton, config, strategy, adaptation,
+                      recovery or self.recovery),
             name=f"execute/{skeleton.app.name}",
         )
 
@@ -124,9 +197,10 @@ class ExecutionManager:
         strategy: Optional[ExecutionStrategy] = None,
         adaptation: Optional[AdaptationPolicy] = None,
         timeout_s: Optional[float] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> ExecutionReport:
         """Blocking convenience: run the kernel until the execution ends."""
-        proc = self.run(skeleton, config, strategy, adaptation)
+        proc = self.run(skeleton, config, strategy, adaptation, recovery)
         until = None if timeout_s is None else self.sim.now + timeout_s
         return self.sim.run_process(proc, until=until)
 
@@ -138,6 +212,7 @@ class ExecutionManager:
         config: Optional[PlannerConfig],
         strategy: Optional[ExecutionStrategy],
         adaptation: Optional[AdaptationPolicy] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         t_start = self.sim.now
         app_name = skeleton.app.name
@@ -193,13 +268,63 @@ class ExecutionManager:
         depends = {t.uid: t.depends_on for t in concrete.all_tasks()}
         units = unit_manager.submit_units(unit_descs, depends_on=depends)
 
-        # Guard: if every pilot dies with units still pending, cancel them so
-        # the execution terminates with a faithful failure report.
+        # Recovery accounting and the all-pilots-dead guard. A FAILED
+        # pilot may be replaced within the recovery budget; only when
+        # every pilot is final *and* no replacement is pending are the
+        # stranded units canceled, so the execution terminates with a
+        # faithful failure report. Units already in STAGING_OUTPUT have
+        # finished executing and complete without their pilot — they are
+        # never canceled (they count as done, not as casualties).
+        recoveries: List[RecoveryEvent] = []
+        rec_state = {"used": 0, "pending": 0}
+
+        def cancel_stranded_units():
+            unit_manager.cancel_units([
+                u for u in units
+                if not u.is_final and u.state is not UnitState.STAGING_OUTPUT
+            ])
+
+        def resubmit(
+            description: ComputePilotDescription, attempt: int, delay: float
+        ) -> None:
+            rec_state["pending"] -= 1
+            if all(u.is_final for u in units):
+                return  # nothing left to recover for
+            replacement = self.pilot_manager.submit_pilots([description])[0]
+            pilots.append(replacement)
+            attach_guard(replacement)
+            unit_manager.add_pilots(replacement)
+            recoveries.append(RecoveryEvent(
+                time=self.sim.now,
+                resource=description.resource,
+                attempt=attempt,
+                backoff_s=delay,
+            ))
+            self.sim.trace.record(
+                self.sim.now, "execution", app_name, "PILOT-RESUBMIT",
+                resource=description.resource, attempt=attempt,
+            )
+
         def on_pilot_final(pilot, state):
-            if all(p.is_final for p in pilots):
-                unit_manager.cancel_units(
-                    [u for u in units if not u.is_final]
+            if (
+                state is PilotState.FAILED
+                and recovery is not None
+                and rec_state["used"] < recovery.max_resubmissions
+                and not all(u.is_final for u in units)
+            ):
+                delay = recovery.delay(rec_state["used"])
+                rec_state["used"] += 1
+                rec_state["pending"] += 1
+                self.sim.trace.record(
+                    self.sim.now, "execution", app_name, "RECOVERY-BACKOFF",
+                    resource=pilot.resource, backoff_s=delay,
                 )
+                self.sim.call_in(
+                    delay, resubmit, pilot.description, rec_state["used"], delay
+                )
+                return
+            if all(p.is_final for p in pilots) and rec_state["pending"] == 0:
+                cancel_stranded_units()
 
         def attach_guard(pilot):
             pilot.add_callback(
@@ -230,14 +355,22 @@ class ExecutionManager:
         self.pilot_manager.cancel_pilots(pilots)
         self.sim.trace.record(t_end, "execution", app_name, "END")
 
+        fault_log = (
+            self.fault_injector.log.between(t_start, t_end)
+            if self.fault_injector is not None else None
+        )
         report = ExecutionReport(
             application=app_name,
             n_tasks=req.n_tasks,
             strategy=strategy,
-            decomposition=decompose(pilots, units, t_start, t_end),
+            decomposition=decompose(
+                pilots, units, t_start, t_end, fault_log=fault_log
+            ),
             pilots=pilots,
             units=units,
             adaptations=list(reinforcer.events) if reinforcer else [],
+            recoveries=recoveries,
+            fault_log=fault_log,
         )
         self.reports.append(report)
         return report

@@ -50,6 +50,7 @@ def render_timeline(
     t_start: float,
     t_end: float,
     width: int = 64,
+    fault_log=None,
 ) -> str:
     """Render one execution as an ASCII timeline."""
     if t_end <= t_start:
@@ -94,12 +95,30 @@ def render_timeline(
         label = f"{'units executing':<{len(pilots[0].uid) + 18 if pilots else 20}}"
         lines.append(f"{label} " + "".join(row))
         lines.append(f"(peak concurrency: {peak})")
+
+    # fault-injection row: one X per enacted fault within the window
+    if fault_log is not None and len(fault_log):
+        row = _row(width)
+        shown = 0
+        for ev in fault_log:
+            if t_start <= ev.time <= t_end:
+                _mark(row, ev.time, ev.time, t_start, t_end, "X")
+                shown += 1
+        if shown:
+            label_w = len(pilots[0].uid) + 18 if pilots else 20
+            label = f"{'faults injected':<{label_w}}"
+            lines.append(f"{label} " + "".join(row))
     return "\n".join(lines)
 
 
 def render_report_timeline(report, width: int = 64) -> str:
-    """Convenience: timeline straight from an ExecutionReport."""
+    """Convenience: timeline straight from an ExecutionReport.
+
+    Executions run under fault injection also show a fault row (one
+    ``X`` per enacted fault inside the window).
+    """
     d = report.decomposition
     return render_timeline(
-        report.pilots, report.units, d.t_start, d.t_end, width=width
+        report.pilots, report.units, d.t_start, d.t_end, width=width,
+        fault_log=getattr(report, "fault_log", None),
     )

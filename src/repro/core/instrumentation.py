@@ -44,6 +44,12 @@ class TTCDecomposition:
     units_done: int
     units_failed: int
     restarts: int
+    units_canceled: int = 0
+    #: executing seconds thrown away because the attempt's pilot died
+    #: before the unit could stage out (re-run work, the recovery cost).
+    t_lost: float = 0.0
+    #: injected faults that fell inside this execution's window.
+    n_faults: int = 0
 
     @property
     def ttc(self) -> float:
@@ -57,19 +63,48 @@ class IntrospectionError(Exception):
 def unit_intervals(
     units: Sequence[ComputeUnit], start_state: str, end_states: Sequence[str]
 ) -> List[Interval]:
-    """Per-unit intervals from first ``start_state`` to first of ``end_states``."""
+    """Per-attempt intervals from ``start_state`` to the next of ``end_states``.
+
+    Restarted units contribute one interval per attempt: each entry into
+    ``start_state`` is paired with the next entry into one of the end
+    states *before* the state recurs. An attempt cut short by failure
+    (the pilot died under the unit) contributes no interval here — the
+    lost time is accounted separately by :func:`lost_intervals` — so Tx
+    and Ts never silently absorb requeue gaps between attempts.
+    """
+    ends = set(end_states)
     out: List[Interval] = []
     for unit in units:
-        t0 = unit.history.timestamp(start_state)
-        if t0 is None:
-            continue
-        t1 = None
-        for s in end_states:
-            cand = unit.history.timestamp(s)
-            if cand is not None and cand >= t0:
-                t1 = cand if t1 is None else min(t1, cand)
-        if t1 is not None:
-            out.append((t0, t1))
+        entries = unit.history.as_list()
+        for i, (state, t0) in enumerate(entries):
+            if state != start_state:
+                continue
+            for later_state, t1 in entries[i + 1:]:
+                if later_state == start_state:
+                    break  # a new attempt began without closing this one
+                if later_state in ends:
+                    out.append((t0, t1))
+                    break
+    return out
+
+
+def lost_intervals(units: Sequence[ComputeUnit]) -> List[Interval]:
+    """EXECUTING intervals that ended in failure or cancellation.
+
+    This is the re-run work a fault costs: compute that was burned on a
+    pilot that died (or a unit that was canceled) before staging out.
+    """
+    terminal = {UnitState.FAILED.value, UnitState.CANCELED.value}
+    out: List[Interval] = []
+    for unit in units:
+        entries = unit.history.as_list()
+        for i, (state, t0) in enumerate(entries):
+            if state != UnitState.EXECUTING.value:
+                continue
+            if i + 1 < len(entries):
+                next_state, t1 = entries[i + 1]
+                if next_state in terminal:
+                    out.append((t0, t1))
     return out
 
 
@@ -96,8 +131,15 @@ def decompose(
     units: Sequence[ComputeUnit],
     t_start: float,
     t_end: float,
+    fault_log=None,
 ) -> TTCDecomposition:
-    """Derive the TTC decomposition for one application execution."""
+    """Derive the TTC decomposition for one application execution.
+
+    ``fault_log`` (a :class:`~repro.faults.FaultLog`, when the run was
+    executed under fault injection) contributes the count of injected
+    faults inside the execution window, so reports carry the chaos
+    context alongside the time components.
+    """
     if t_end < t_start:
         raise IntrospectionError("t_end precedes t_start")
     if not pilots:
@@ -147,4 +189,13 @@ def decompose(
         units_done=sum(1 for u in units if u.state is UnitState.DONE),
         units_failed=sum(1 for u in units if u.state is UnitState.FAILED),
         restarts=sum(u.restarts for u in units),
+        units_canceled=sum(
+            1 for u in units if u.state is UnitState.CANCELED
+        ),
+        # summed, not unioned: two units losing work concurrently both
+        # have to re-run, so the recovery cost is additive.
+        t_lost=sum(t1 - t0 for t0, t1 in lost_intervals(units)),
+        n_faults=(
+            len(fault_log.between(t_start, t_end)) if fault_log is not None else 0
+        ),
     )

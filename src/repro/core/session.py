@@ -83,7 +83,20 @@ def report_to_session(report) -> Dict[str, Any]:
             "tx": d.tx, "ts": d.ts, "trp": d.trp,
             "units_done": d.units_done, "units_failed": d.units_failed,
             "restarts": d.restarts,
+            "units_canceled": d.units_canceled,
+            "t_lost": d.t_lost, "n_faults": d.n_faults,
         },
+        "faults": (
+            report.fault_log.to_list()
+            if getattr(report, "fault_log", None) is not None else []
+        ),
+        "recoveries": [
+            {
+                "time": r.time, "resource": r.resource,
+                "attempt": r.attempt, "backoff_s": r.backoff_s,
+            }
+            for r in getattr(report, "recoveries", [])
+        ],
         "pilots": [
             _entity_to_dict(
                 p.uid, "pilot", p.cores,
@@ -112,6 +125,8 @@ class Session:
     decomposition: Dict[str, float]
     pilots: List[EntityRecord] = field(default_factory=list)
     units: List[EntityRecord] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    recoveries: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ttc(self) -> float:
@@ -144,6 +159,8 @@ def session_from_dict(data: Dict[str, Any]) -> Session:
         decomposition=data["decomposition"],
         pilots=[rebuild(r) for r in data["pilots"]],
         units=[rebuild(r) for r in data["units"]],
+        faults=list(data.get("faults", [])),
+        recoveries=list(data.get("recoveries", [])),
     )
 
 

@@ -14,6 +14,7 @@ from .errors import (
     SimulationError,
 )
 from .events import EventQueue, ScheduledEvent, TraceRecord, Tracer
+from .hazard import hazard_process
 from .kernel import Simulation
 from .process import AllOf, AnyOf, Process, Signal, Timeout, Waitable
 from .resources import Acquisition, CapacityResource, Store
@@ -40,4 +41,5 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "Waitable",
+    "hazard_process",
 ]

@@ -1,0 +1,94 @@
+"""The fault log: a deterministic record of every injected fault.
+
+The injector writes one :class:`FaultEvent` per fault it enacts (pilot
+kills, submission failures, link degradations, resource outages). The
+log is the subsystem's ground truth for analysis and for reproducibility
+checks: ``digest()`` hashes a canonical JSON rendering, so two runs of
+the same seeded :class:`~repro.faults.plan.FaultPlan` can be compared
+byte-for-byte. Targets are therefore *stable* names (resource names,
+per-manager pilot indices) rather than process-global uids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as enacted (not as planned)."""
+
+    time: float
+    kind: str      # "pilot-kill" | "submit-fail" | "link-degrade" | ...
+    target: str    # stable name: resource, site, or "resource/pilot#i"
+    details: Tuple[Tuple[str, object], ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "details": dict(self.details),
+        }
+
+
+class FaultLog:
+    """Append-only, deterministic record of injected faults."""
+
+    def __init__(self, events: Tuple[FaultEvent, ...] = ()) -> None:
+        self.events: List[FaultEvent] = list(events)
+
+    def record(self, time: float, kind: str, target: str, **details) -> FaultEvent:
+        ev = FaultEvent(
+            time=float(time),
+            kind=kind,
+            target=target,
+            details=tuple(sorted(details.items())),
+        )
+        self.events.append(ev)
+        return ev
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def between(self, t0: float, t1: float) -> "FaultLog":
+        """Sub-log of events with t0 <= time <= t1 (for one execution)."""
+        return FaultLog(tuple(e for e in self.events if t0 <= e.time <= t1))
+
+    def by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    # -- reproducibility -----------------------------------------------------
+
+    def to_list(self) -> List[Dict[str, object]]:
+        return [e.as_dict() for e in self.events]
+
+    def canonical_json(self) -> str:
+        """Canonical rendering: stable key order, exact float repr."""
+        return json.dumps(self.to_list(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — equal iff the logs are identical."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        if not self.events:
+            return "faults: none injected"
+        kinds = ", ".join(
+            f"{k} x{n}" for k, n in sorted(self.by_kind().items())
+        )
+        return (
+            f"faults: {len(self.events)} injected ({kinds}); "
+            f"digest {self.digest()[:12]}"
+        )

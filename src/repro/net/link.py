@@ -59,6 +59,10 @@ class Link:
         self.name = name
         self.bandwidth = float(bandwidth_bytes_per_s)
         self.latency = float(latency_s)
+        #: degradation factor in [0, 1]; 1 is healthy, 0 is partitioned.
+        #: Estimates keep using ``bandwidth`` (predictions are blind to
+        #: faults); only the fluid machinery sees the effective rate.
+        self._degradation = 1.0
         self._active: Dict[int, Transfer] = {}
         self._last_update = 0.0
         self._completion_event: Optional[ScheduledEvent] = None
@@ -72,10 +76,49 @@ class Link:
         return len(self._active)
 
     @property
+    def effective_bandwidth(self) -> float:
+        """Bytes/s the link currently carries (after any degradation)."""
+        return self.bandwidth * self._degradation
+
+    @property
+    def degradation(self) -> float:
+        return self._degradation
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self._degradation == 0.0
+
+    @property
     def current_rate_per_flow(self) -> float:
         """Bytes/s each active flow is currently receiving."""
         n = len(self._active)
-        return self.bandwidth / n if n else self.bandwidth
+        eff = self.effective_bandwidth
+        return eff / n if n else eff
+
+    def set_degradation(self, factor: float) -> None:
+        """Throttle the link to ``factor`` of its bandwidth (0 = partition).
+
+        In-flight transfers keep their progress; their completion times
+        are recomputed at the new rate. While partitioned, flows stall
+        (no completion is scheduled) until the link is restored.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"degradation factor must be in [0, 1], got {factor}")
+        if factor == self._degradation:
+            return
+        self._drain_elapsed()
+        self._degradation = float(factor)
+        self.sim.trace.record(
+            self.sim.now, "link", self.name,
+            "PARTITIONED" if factor == 0.0 else
+            ("DEGRADED" if factor < 1.0 else "RESTORED"),
+            factor=factor,
+        )
+        self._reschedule()
+
+    def restore(self) -> None:
+        """Return the link to full bandwidth."""
+        self.set_degradation(1.0)
 
     def transfer(self, size_bytes: float, label: str = "") -> Transfer:
         """Start moving ``size_bytes``; returns a waitable Transfer.
@@ -110,7 +153,9 @@ class Link:
         self._last_update = now
         if elapsed <= 0 or not self._active:
             return
-        rate = self.bandwidth / len(self._active)
+        rate = self.effective_bandwidth / len(self._active)
+        if rate <= 0:
+            return  # partitioned: no bytes moved
         for t in self._active.values():
             t.remaining_bytes = max(0.0, t.remaining_bytes - rate * elapsed)
 
@@ -120,7 +165,9 @@ class Link:
             self._completion_event = None
         if not self._active:
             return
-        rate = self.bandwidth / len(self._active)
+        if self.is_partitioned:
+            return  # flows stall until the link is restored
+        rate = self.effective_bandwidth / len(self._active)
         soonest = min(self._active.values(), key=lambda t: t.remaining_bytes)
         delay = soonest.remaining_bytes / rate
         self._completion_event = self.sim.call_in(

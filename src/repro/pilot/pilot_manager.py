@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..cluster import Cluster
 from ..des import Simulation, Waitable
-from ..saga import JobDescription, JobService, SagaJob, SagaState
+from ..saga import (
+    Adaptor,
+    JobDescription,
+    JobService,
+    PermanentSubmitError,
+    SagaJob,
+    SagaState,
+    TransientSubmitError,
+)
 from .agent import Agent
 from .description import ComputePilotDescription
 from .entities import ComputePilot
@@ -31,6 +39,8 @@ class PilotManager:
         sim: Simulation,
         clusters: Dict[str, Cluster],
         bootstrap_s: float = 0.0,
+        submit_retries: int = 3,
+        submit_backoff_s: float = 30.0,
     ) -> None:
         self.sim = sim
         self._clusters = dict(clusters)
@@ -39,6 +49,16 @@ class PilotManager:
         #: delay between the placeholder job starting and the agent being
         #: ready to accept units (environment setup, agent handshake).
         self.bootstrap_s = float(bootstrap_s)
+        #: transient SAGA submission failures are retried this many times
+        #: with exponential backoff before the pilot is declared FAILED.
+        self.submit_retries = int(submit_retries)
+        self.submit_backoff_s = float(submit_backoff_s)
+        #: applied to every adaptor as its service is created (and to the
+        #: ones already cached) — the fault injector's entry point for
+        #: making the SAGA layer fallible.
+        self._adaptor_wrapper: Optional[Callable[[Adaptor], Adaptor]] = None
+        #: injected submission failures seen (for recovery accounting).
+        self.submit_faults = 0
 
     # -- submission ------------------------------------------------------------
 
@@ -69,6 +89,18 @@ class PilotManager:
         """Waitable fired when the first of ``pilots`` activates."""
         return self.sim.any_of([p.wait_active() for p in pilots])
 
+    def set_adaptor_wrapper(
+        self, wrapper: Optional[Callable[[Adaptor], Adaptor]]
+    ) -> None:
+        """Install a wrapper around every SAGA adaptor (fault injection).
+
+        Applies to services created later *and* to already-cached ones.
+        """
+        self._adaptor_wrapper = wrapper
+        if wrapper is not None:
+            for svc in self._services.values():
+                svc.adaptor = wrapper(svc.adaptor)
+
     # -- internals ----------------------------------------------------------------
 
     def _service_for(self, resource: str, scheme: str) -> JobService:
@@ -82,12 +114,23 @@ class PilotManager:
                     f"{sorted(self._clusters)}"
                 )
             svc = JobService(self.sim, key, cluster)
+            if self._adaptor_wrapper is not None:
+                svc.adaptor = self._adaptor_wrapper(svc.adaptor)
             self._services[key] = svc
         return svc
 
     def _launch(self, desc: ComputePilotDescription) -> ComputePilot:
         pilot = ComputePilot(self.sim, desc)
         self.pilots.append(pilot)
+        pilot.advance(PilotState.LAUNCHING)
+        self._try_submit(pilot, desc, attempt=0)
+        return pilot
+
+    def _try_submit(
+        self, pilot: ComputePilot, desc: ComputePilotDescription, attempt: int
+    ) -> None:
+        if pilot.is_final:
+            return  # canceled while waiting out a submission backoff
         svc = self._service_for(desc.resource, desc.access_schema)
         job_desc = JobDescription(
             executable="/bin/aimes-pilot-agent",
@@ -99,13 +142,37 @@ class PilotManager:
             simulated_runtime_s=desc.runtime_s,
             kind="pilot",
         )
-        pilot.advance(PilotState.LAUNCHING)
-        saga_job = svc.submit(job_desc)
+        try:
+            saga_job = svc.submit(job_desc)
+        except TransientSubmitError:
+            self.submit_faults += 1
+            if attempt < self.submit_retries:
+                delay = self.submit_backoff_s * (2.0 ** attempt)
+                self.sim.trace.record(
+                    self.sim.now, "pilot", pilot.uid, "SUBMIT-RETRY",
+                    resource=desc.resource, attempt=attempt + 1,
+                    backoff_s=delay,
+                )
+                self.sim.call_in(delay, self._try_submit, pilot, desc, attempt + 1)
+            else:
+                self.sim.trace.record(
+                    self.sim.now, "pilot", pilot.uid, "SUBMIT-EXHAUSTED",
+                    resource=desc.resource, attempts=attempt + 1,
+                )
+                pilot.advance(PilotState.FAILED)
+            return
+        except PermanentSubmitError:
+            self.submit_faults += 1
+            self.sim.trace.record(
+                self.sim.now, "pilot", pilot.uid, "SUBMIT-REJECTED",
+                resource=desc.resource,
+            )
+            pilot.advance(PilotState.FAILED)
+            return
         pilot.saga_job = saga_job
         saga_job.add_callback(
             lambda job, state, p=pilot: self._on_saga_state(p, job, state)
         )
-        return pilot
 
     def _on_saga_state(
         self, pilot: ComputePilot, job: SagaJob, state: SagaState

@@ -14,6 +14,13 @@ from .adaptors.dialects import (
     SlurmAdaptor,
 )
 from .description import JobDescription
+from .fallible import (
+    FallibleAdaptor,
+    PermanentSubmitError,
+    SubmissionFaultModel,
+    SubmitFault,
+    TransientSubmitError,
+)
 from .filesystem import CopyTask, FileService, FileUrlError, TaskState, parse_url
 from .job import JobService, SagaJob
 from .states import SAGA_FINAL, SagaState, map_native_state
@@ -24,8 +31,13 @@ __all__ = [
     "AdaptorError",
     "CondorAdaptor",
     "CopyTask",
+    "FallibleAdaptor",
     "FileService",
     "FileUrlError",
+    "PermanentSubmitError",
+    "SubmissionFaultModel",
+    "SubmitFault",
+    "TransientSubmitError",
     "JobDescription",
     "JobService",
     "PbsAdaptor",

@@ -1,8 +1,9 @@
 """Edge-case tests for kernel semantics not covered elsewhere."""
 
+import numpy as np
 import pytest
 
-from repro.des import Simulation, SimulationError
+from repro.des import Interrupt, Simulation, SimulationError
 
 
 def test_run_is_not_reentrant():
@@ -76,3 +77,118 @@ def test_deeply_chained_processes_do_not_recurse():
     sim.run()
     assert len(done) == 1001
     assert done[0] == 0 and done[-1] == 1000
+
+
+# -- seeded-random property tests ---------------------------------------------
+#
+# The fault-injection subsystem leans hard on three kernel guarantees:
+# the clock never goes backwards, a canceled event never fires, and an
+# interrupted process resumes exactly once with the Interrupt. These
+# loops drive randomized interleavings of schedule/cancel/interrupt
+# (seeded, so a failure is a reproducible counterexample).
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedule_cancel_interleaving(seed):
+    rng = np.random.default_rng(seed)
+    sim = Simulation()
+    n = 200
+    times = rng.uniform(0.0, 1000.0, size=n)
+    fired = []
+    events = [
+        sim.call_at(float(t), lambda i=i: fired.append((i, sim.now)))
+        for i, t in enumerate(times)
+    ]
+    # cancel a random subset up-front...
+    canceled = set(int(i) for i in rng.choice(n, size=n // 4, replace=False))
+    for i in canceled:
+        sim.cancel(events[i])
+    # ...and cancel some future events *from inside* the run
+    live = [i for i in range(n) if i not in canceled]
+    dynamic = [i for i in live if rng.random() < 0.2]
+    for i in dynamic:
+        cancel_at = float(rng.uniform(0.0, times[i]))
+        if cancel_at < times[i]:  # strictly before: must not fire
+            sim.call_at(cancel_at, sim.cancel, events[i])
+            canceled.add(i)
+    sim.run()
+
+    fired_ids = [i for i, _ in fired]
+    assert set(fired_ids) == set(range(n)) - canceled
+    # each callback fired at its scheduled time, in non-decreasing order
+    for i, t in fired:
+        assert t == float(times[i])
+    assert all(a <= b for (_, a), (_, b) in zip(fired, fired[1:]))
+    # double-cancel (including of already-fired events) is harmless
+    for ev in events:
+        sim.cancel(ev)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_interrupt_interleaving(seed):
+    rng = np.random.default_rng(seed)
+    sim = Simulation()
+    n = 60
+    sleeps = rng.uniform(10.0, 500.0, size=n)
+    outcomes = {}
+
+    def sleeper(i, duration):
+        t0 = sim.now
+        try:
+            yield sim.timeout(duration)
+            outcomes[i] = ("slept", sim.now - t0)
+        except Interrupt as itr:
+            outcomes[i] = ("interrupted", itr.cause)
+
+    procs = [sim.process(sleeper(i, float(s))) for i, s in enumerate(sleeps)]
+    interrupted = {}
+    for i in range(n):
+        if rng.random() < 0.5:
+            at = float(rng.uniform(0.0, 600.0))
+            interrupted[i] = at
+            sim.call_at(
+                at,
+                lambda i=i: procs[i].interrupt(i) if procs[i].is_alive else None,
+            )
+    sim.run()
+
+    assert set(outcomes) == set(range(n))  # every process finished
+    assert all(p.triggered for p in procs)
+    for i in range(n):
+        kind, value = outcomes[i]
+        hit = i in interrupted and interrupted[i] < sleeps[i]
+        if kind == "interrupted":
+            assert value == i  # the cause round-trips
+            assert interrupted[i] <= sleeps[i]
+        else:
+            assert not hit or interrupted[i] == sleeps[i]
+            assert value == float(sleeps[i])  # slept exactly as asked
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_interleaving_is_deterministic(seed):
+    """The same seed drives byte-identical event sequences."""
+
+    def run_once():
+        rng = np.random.default_rng(seed)
+        sim = Simulation()
+        trail = []
+        stop = [False]
+
+        def actor(i):
+            while not stop[0]:
+                gap = float(rng.exponential(20.0))
+                yield sim.timeout(gap)
+                trail.append((i, sim.now))
+
+        procs = [sim.process(actor(i)) for i in range(5)]
+        sim.call_at(500.0, lambda: stop.__setitem__(0, True))
+        for p in procs:
+            sim.call_at(
+                float(rng.uniform(100.0, 400.0)),
+                lambda p=p: p.interrupt("chaos") if p.is_alive else None,
+            )
+        sim.run(until=1000.0)
+        return trail
+
+    assert run_once() == run_once()

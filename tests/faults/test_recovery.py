@@ -1,0 +1,209 @@
+"""Consumer hardening: submission retries and pilot resubmission budgets."""
+
+import pytest
+
+from repro.bundle import BundleManager
+from repro.cluster import Cluster
+from repro.core import ExecutionManager, RecoveryPolicy
+from repro.des import RngStreams, Simulation
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    KillPilot,
+    SubmitFailures,
+)
+from repro.pilot import ComputePilotDescription, PilotManager, PilotState
+from repro.saga import FallibleAdaptor, SubmissionFaultModel
+from repro.skeleton import SkeletonAPI, bag_of_tasks
+
+
+def make_pm(seed=0, sites=("alpha",), **pm_kw):
+    sim = Simulation(seed=seed)
+    clusters = {
+        name: Cluster(sim, name, nodes=4, cores_per_node=8, submit_overhead=1.0)
+        for name in sites
+    }
+    pm = PilotManager(sim, clusters, **pm_kw)
+    return sim, clusters, pm
+
+
+def install_model(sim, pm, **model_kw):
+    model = SubmissionFaultModel(sim, RngStreams(0).get("test"), **model_kw)
+    pm.set_adaptor_wrapper(lambda a: FallibleAdaptor(a, model))
+    return model
+
+
+def desc(resource="alpha"):
+    return ComputePilotDescription(resource=resource, cores=8, runtime_min=60)
+
+
+# -- PilotManager: transient retry with exponential backoff --------------------
+
+
+def test_transient_failures_are_retried_until_success():
+    sim, clusters, pm = make_pm(submit_retries=3, submit_backoff_s=10.0)
+    model = install_model(sim, pm)
+    model.add_scripted(2)  # first two submission attempts fail transiently
+    (pilot,) = pm.submit_pilots(desc())
+    sim.run(until=2000.0)
+    assert pilot.state is PilotState.ACTIVE
+    assert pm.submit_faults == 2
+    # exponential backoff: retries traced at 10s and 10+20=30s
+    retries = sim.trace.query(event="SUBMIT-RETRY")
+    assert [r.time for r in retries] == [0.0, 10.0]
+    assert pilot.history.timestamp("PENDING_ACTIVE") >= 30.0
+
+
+def test_retry_budget_exhaustion_fails_the_pilot():
+    sim, clusters, pm = make_pm(submit_retries=2, submit_backoff_s=5.0)
+    model = install_model(sim, pm)
+    model.add_scripted(10)  # more failures than the budget
+    (pilot,) = pm.submit_pilots(desc())
+    sim.run(until=2000.0)
+    assert pilot.state is PilotState.FAILED
+    assert pm.submit_faults == 3  # initial try + 2 retries
+    assert sim.trace.query(event="SUBMIT-EXHAUSTED")
+
+
+def test_permanent_failure_fails_the_pilot_without_retry():
+    sim, clusters, pm = make_pm(submit_retries=5)
+    model = install_model(sim, pm)
+    model.add_scripted(1, permanent=True)
+    (pilot,) = pm.submit_pilots(desc())
+    sim.run(until=2000.0)
+    assert pilot.state is PilotState.FAILED
+    assert pm.submit_faults == 1
+    assert not sim.trace.query(event="SUBMIT-RETRY")
+    assert sim.trace.query(event="SUBMIT-REJECTED")
+
+
+def test_scripted_failures_target_one_resource():
+    sim, clusters, pm = make_pm(sites=("alpha", "beta"), submit_retries=0)
+    model = install_model(sim, pm)
+    model.add_scripted(5, resource="alpha")
+    a, b = pm.submit_pilots([desc("alpha"), desc("beta")])
+    sim.run(until=2000.0)
+    assert a.state is PilotState.FAILED
+    assert b.state is PilotState.ACTIVE
+
+
+def test_cancel_during_backoff_stops_retrying():
+    sim, clusters, pm = make_pm(submit_retries=3, submit_backoff_s=100.0)
+    model = install_model(sim, pm)
+    model.add_scripted(1)
+    (pilot,) = pm.submit_pilots(desc())
+    sim.call_at(50.0, pm.cancel_pilots, [pilot])  # mid-backoff
+    sim.run(until=2000.0)
+    assert pilot.state is PilotState.CANCELED
+    assert pm.submit_faults == 1  # the retry never re-submitted
+
+
+# -- RecoveryPolicy ------------------------------------------------------------
+
+
+def test_recovery_policy_validation_and_delay():
+    policy = RecoveryPolicy(max_resubmissions=3, backoff_s=60.0, backoff_factor=2.0)
+    assert [policy.delay(i) for i in range(3)] == [60.0, 120.0, 240.0]
+    with pytest.raises(ValueError):
+        RecoveryPolicy(max_resubmissions=-1)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(backoff_factor=0.5)
+
+
+# -- ExecutionManager: pilot resubmission --------------------------------------
+
+
+def make_em(seed=0, sites=("alpha", "beta", "gamma"), **em_kw):
+    sim = Simulation(seed=seed)
+    from repro.net import Network
+
+    net = Network(sim)
+    clusters = {}
+    for name in sites:
+        net.add_site(name, bandwidth_bytes_per_s=1e7, latency_s=0.01)
+        clusters[name] = Cluster(sim, name, nodes=16, cores_per_node=16,
+                                 submit_overhead=1.0)
+    bundle = BundleManager(sim, net).create_bundle("pool", clusters)
+    em = ExecutionManager(sim, net, bundle, **em_kw)
+    return sim, net, clusters, bundle, em
+
+
+def test_failed_pilot_is_replaced_within_budget():
+    sim, net, clusters, bundle, em = make_em()
+    plan = FaultPlan(actions=(KillPilot(at=400.0, index=0),))
+    em.attach_faults(FaultInjector(
+        sim, plan, pilot_manager=em.pilot_manager, network=net
+    ))
+    api = SkeletonAPI(bag_of_tasks(24, task_duration=600), seed=1)
+    report = em.execute(
+        api, recovery=RecoveryPolicy(max_resubmissions=2, backoff_s=30.0)
+    )
+    assert report.succeeded
+    assert len(report.recoveries) == 1
+    rec = report.recoveries[0]
+    assert rec.attempt == 1
+    assert rec.backoff_s == 30.0
+    assert rec.time >= 400.0 + 30.0
+    # the replacement pilot is part of the report
+    assert len(report.pilots) == report.strategy.n_pilots + 1
+    assert report.decomposition.n_faults == 1
+
+
+def test_resubmission_budget_is_respected():
+    sim, net, clusters, bundle, em = make_em(sites=("alpha",))
+    # every pilot dies shortly after activation, forever
+    plan = FaultPlan(actions=tuple(
+        KillPilot(at=300.0 + 200.0 * i, resource="alpha") for i in range(8)
+    ))
+    em.attach_faults(FaultInjector(
+        sim, plan, pilot_manager=em.pilot_manager, network=net
+    ))
+    api = SkeletonAPI(bag_of_tasks(8, task_duration=3000), seed=1)
+    report = em.execute(
+        api, recovery=RecoveryPolicy(max_resubmissions=2, backoff_s=10.0)
+    )
+    assert not report.succeeded
+    assert len(report.recoveries) == 2  # budget, not the number of kills
+    d = report.decomposition
+    assert d.units_done + d.units_failed + d.units_canceled == 8
+
+
+def test_no_recovery_policy_means_no_resubmission():
+    sim, net, clusters, bundle, em = make_em(sites=("alpha",))
+    plan = FaultPlan(actions=(KillPilot(at=400.0, index=0),))
+    em.attach_faults(FaultInjector(
+        sim, plan, pilot_manager=em.pilot_manager, network=net
+    ))
+    api = SkeletonAPI(bag_of_tasks(8, task_duration=3000), seed=1)
+    report = em.execute(api)
+    assert not report.succeeded
+    assert report.recoveries == []
+
+
+def test_manager_level_recovery_policy_is_the_default():
+    sim, net, clusters, bundle, em = make_em(
+        recovery=RecoveryPolicy(max_resubmissions=1, backoff_s=20.0)
+    )
+    plan = FaultPlan(actions=(KillPilot(at=400.0, index=0),))
+    em.attach_faults(FaultInjector(
+        sim, plan, pilot_manager=em.pilot_manager, network=net
+    ))
+    api = SkeletonAPI(bag_of_tasks(24, task_duration=600), seed=1)
+    report = em.execute(api)  # no per-call policy: manager default applies
+    assert report.succeeded
+    assert len(report.recoveries) == 1
+
+
+def test_submission_faults_ride_through_execution():
+    """An execution under scripted submit failures still completes."""
+    sim, net, clusters, bundle, em = make_em()
+    plan = FaultPlan(actions=(SubmitFailures(count=2),))
+    em.attach_faults(FaultInjector(
+        sim, plan, pilot_manager=em.pilot_manager, network=net
+    ))
+    api = SkeletonAPI(bag_of_tasks(16, task_duration=300), seed=2)
+    report = em.execute(api)
+    assert report.succeeded
+    assert em.pilot_manager.submit_faults == 2
+    assert report.decomposition.n_faults == 2
+    assert report.fault_log.by_kind() == {"submit-fail": 2}
