@@ -91,6 +91,7 @@ class ResourceBundle:
             ),
             scheduler_policy=cluster.scheduler.name,
             setup_time_estimate=self.predict_wait(resource),
+            offline=cluster.is_offline,
         )
         network = NetworkRepresentation(
             bandwidth_bytes_per_s=link.bandwidth,

@@ -94,8 +94,15 @@ class ResourceMonitor:
     # -- internals -----------------------------------------------------------
 
     def _sampling_loop(self):
+        # Canceled subscriptions (via unsubscribe() *or* Subscription.
+        # cancel()) are purged at each tick; once none remain the loop
+        # ends rather than leaving a dangling DES process sampling an
+        # empty table for the rest of the run.
         while True:
             yield self.sim.timeout(self.interval_s)
+            for uid, sub in list(self._subs.items()):
+                if not sub.active:
+                    del self._subs[uid]
             if not self._subs:
                 self._running = False
                 return

@@ -30,6 +30,9 @@ class ComputeRepresentation:
     #: estimated seconds between submitting a placeholder job and it
     #: becoming active — the uniform "setup time" measure.
     setup_time_estimate: float
+    #: True while the resource is in an outage window (dispatch frozen);
+    #: the health registry's monitor subscriptions key off this.
+    offline: bool = False
 
 
 @dataclass(frozen=True)

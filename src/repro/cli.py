@@ -145,8 +145,21 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_supervision(args: argparse.Namespace):
+    """SupervisionPolicy from --breaker/--watchdog-timeout/--deadline."""
+    from .health import BreakerPolicy, SupervisionPolicy
+
+    if not (args.breaker or args.watchdog_timeout or args.deadline):
+        return None
+    return SupervisionPolicy(
+        breaker=BreakerPolicy() if args.breaker else None,
+        watchdog_timeout_s=args.watchdog_timeout,
+        deadline_s=args.deadline,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    env = build_environment(seed=args.seed)
+    env = build_environment(seed=args.seed, supervision=_build_supervision(args))
     env.warm_up(args.warmup_hours * 3600.0)
     skeleton = SkeletonAPI(
         paper_skeleton(args.tasks, gaussian=args.gaussian), seed=args.seed
@@ -172,7 +185,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         env.execution_manager.attach_faults(injector)
         if args.max_resubmit > 0:
-            recovery = RecoveryPolicy(max_resubmissions=args.max_resubmit)
+            # chaos runs desynchronize their recovery backoffs; the
+            # jitter comes from the kernel's seeded stream, so the
+            # FaultLog digest stays reproducible run to run.
+            recovery = RecoveryPolicy(
+                max_resubmissions=args.max_resubmit, jitter_frac=0.1
+            )
     report = env.execution_manager.execute(skeleton, config, recovery=recovery)
     print(report.strategy.describe())
     print()
@@ -180,6 +198,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if report.fault_log is not None:
         print()
         print(report.fault_log.summary())
+    if report.health_log is not None:
+        print(report.health_log.summary())
+        if report.deadline_expired:
+            d = report.decomposition
+            print(
+                f"deadline expired: partial result "
+                f"({d.units_done}/{report.n_tasks} tasks done, "
+                f"{d.units_canceled} canceled)"
+            )
     if args.timeline:
         from .core import render_report_timeline
 
@@ -250,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-resubmit", type=int, default=2,
                    help="pilot resubmission budget under --faults "
                         "(0 disables recovery)")
+    p.add_argument("--breaker", action="store_true",
+                   help="enable per-resource circuit breakers (quarantine "
+                        "resources that keep failing)")
+    p.add_argument("--watchdog-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-unit progress deadline; hung units are "
+                        "canceled and rescheduled")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="end-to-end TTC budget: re-plan around sick "
+                        "resources, degrade to a partial result on expiry")
 
     return parser
 

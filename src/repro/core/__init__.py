@@ -45,6 +45,7 @@ from .instrumentation import (
     decompose,
     execution_intervals,
     lost_intervals,
+    quarantine_seconds,
     staging_intervals,
     unit_intervals,
 )
@@ -110,6 +111,7 @@ __all__ = [
     "report_to_session",
     "merge_intervals",
     "overlap_fraction",
+    "quarantine_seconds",
     "save_session",
     "session_from_dict",
     "span",

@@ -74,6 +74,7 @@ class PilotReinforcer:
         policy: AdaptationPolicy,
         access_schemas: Optional[dict] = None,
         on_new_pilot=None,
+        health=None,
     ) -> None:
         self.sim = sim
         self.bundle = bundle
@@ -83,6 +84,9 @@ class PilotReinforcer:
         self.pilots = pilots
         self.policy = policy
         self.access_schemas = access_schemas or {}
+        #: a :class:`~repro.health.HealthRegistry`; when set, backup and
+        #: successor pilots avoid quarantined resources.
+        self.health = health
         #: called with each backup pilot (e.g. to attach failure guards).
         self.on_new_pilot = on_new_pilot
         self.events: List[AdaptationEvent] = []
@@ -111,6 +115,8 @@ class PilotReinforcer:
         ):
             if name in used:
                 continue
+            if self.health is not None and self.health.is_quarantined(name):
+                continue  # reinforcing with a sick resource helps nobody
             cap = self.bundle.query(name).compute.total_cores
             if self.strategy.pilot_cores <= cap:
                 return name
@@ -185,6 +191,10 @@ class PilotReinforcer:
                 expected_end = activated + pilot.description.runtime_s
                 if expected_end - now > horizon:
                     continue
+                if self.health is not None and self.health.is_quarantined(
+                    pilot.resource
+                ):
+                    continue  # no successor on a quarantined resource
                 desc = ComputePilotDescription(
                     resource=pilot.resource,
                     cores=pilot.cores,

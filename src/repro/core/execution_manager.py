@@ -17,12 +17,20 @@ for the TTC decomposition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..bundle import ResourceBundle
 from ..des import Process, Simulation
 from ..faults import FaultLog
+from ..health import (
+    DeadlineSupervisor,
+    HealthEventLog,
+    HealthRegistry,
+    ReplanEvent,
+    SupervisionPolicy,
+    UnitWatchdog,
+)
 from ..net import Network
 from ..pilot import (
     ComputePilot,
@@ -55,6 +63,11 @@ class RecoveryPolicy:
     max_resubmissions: int = 2
     backoff_s: float = 60.0
     backoff_factor: float = 2.0
+    #: desynchronize backoffs by up to +-this fraction. The draw comes
+    #: from the kernel's seeded "recovery-jitter" stream — independent of
+    #: the fault plan's streams — so FaultLog digests stay reproducible
+    #: while concurrent recoveries stop retrying in lockstep.
+    jitter_frac: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_resubmissions < 0:
@@ -63,10 +76,20 @@ class RecoveryPolicy:
             raise ValueError("backoff_s must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before the ``attempt``-th replacement (0-based)."""
-        return self.backoff_s * (self.backoff_factor ** attempt)
+    def delay(self, attempt: int, rng=None) -> float:
+        """Backoff before the ``attempt``-th replacement (0-based).
+
+        ``rng`` (a numpy Generator) is consulted only when
+        ``jitter_frac`` is non-zero; with the default of 0 the delay is
+        the exact exponential schedule the tests pin down.
+        """
+        base = self.backoff_s * (self.backoff_factor ** attempt)
+        if self.jitter_frac and rng is not None:
+            base *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return base
 
 
 @dataclass(frozen=True)
@@ -92,6 +115,13 @@ class ExecutionReport:
     adaptations: List[AdaptationEvent] = field(default_factory=list)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
     fault_log: Optional[FaultLog] = field(repr=False, default=None)
+    #: health-event slice of this execution's window (supervised runs).
+    health_log: Optional[HealthEventLog] = field(repr=False, default=None)
+    #: mid-run strategy revisions enacted by the deadline supervisor.
+    replans: List[ReplanEvent] = field(default_factory=list)
+    #: True when the TTC budget expired and the run degraded to a
+    #: partial result (see ``decomposition.units_done`` for what landed).
+    deadline_expired: bool = False
 
     @property
     def ttc(self) -> float:
@@ -116,6 +146,14 @@ class ExecutionReport:
                 f" [faults {d.n_faults}, lost {d.t_lost:.0f}s, "
                 f"resubmissions {len(self.recoveries)}]"
             )
+        if d.t_quarantined or d.units_rescheduled or self.replans:
+            line += (
+                f" [quarantined {d.t_quarantined:.0f}s, "
+                f"watchdog reschedules {d.units_rescheduled}, "
+                f"replans {len(self.replans)}]"
+            )
+        if self.deadline_expired:
+            line += " [DEADLINE EXPIRED: partial result]"
         return line
 
 
@@ -136,15 +174,24 @@ class ExecutionManager:
         recovery: Optional[RecoveryPolicy] = None,
         submit_retries: int = 3,
         submit_backoff_s: float = 30.0,
+        submit_jitter_frac: float = 0.0,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.bundle = bundle
         self.access_schemas = access_schemas or {}
+        #: health supervision policy (None or all-disabled: legacy path).
+        self.supervision = supervision
+        self.health: Optional[HealthRegistry] = None
+        if supervision is not None and supervision.enabled:
+            self.health = HealthRegistry(sim, breaker=supervision.breaker)
+            self.health.watch(bundle)
         clusters = {name: bundle.cluster(name) for name in bundle.resources()}
         self.pilot_manager = PilotManager(
             sim, clusters, bootstrap_s=agent_bootstrap_s,
             submit_retries=submit_retries, submit_backoff_s=submit_backoff_s,
+            submit_jitter_frac=submit_jitter_frac, health=self.health,
         )
         #: default recovery policy for executions (None: no resubmission).
         self.recovery = recovery
@@ -161,6 +208,11 @@ class ExecutionManager:
         faults that landed inside the run.
         """
         self.fault_injector = injector
+        if self.health is not None:
+            # the registry sees every injected fault as it lands: observed
+            # outages and link partitions trip breakers without waiting
+            # for the failure threshold.
+            injector.log.add_listener(self.health.on_fault_event)
         if arm:
             injector.arm()
         return injector
@@ -221,9 +273,39 @@ class ExecutionManager:
         # Steps 1-2: application and resource information.
         req = skeleton.requirements()
 
-        # Step 3: strategy derivation.
+        # Step 3: strategy derivation. Under supervision, quarantined
+        # resources are invisible to the planner; a pool with nothing
+        # healthy left is a clear, immediate error — not a run that
+        # deadlocks waiting on submissions the breakers will reject.
+        if self.health is not None:
+            pool = self.bundle.resources()
+            if not self.health.healthy(pool):
+                raise ExecutionError(
+                    f"all {len(pool)} resources of bundle "
+                    f"{self.bundle.name!r} are quarantined "
+                    f"({', '.join(sorted(pool))}); wait for a breaker "
+                    "cooldown or widen the bundle"
+                )
         if strategy is None:
-            strategy = derive_strategy(req, self.bundle, config)
+            cfg = config
+            if self.health is not None:
+                quarantined = self.health.quarantined(self.bundle.resources())
+                if quarantined:
+                    base = cfg or PlannerConfig()
+                    cfg = replace(
+                        base,
+                        exclude=tuple(
+                            sorted(set(base.exclude) | set(quarantined))
+                        ),
+                    )
+            strategy = derive_strategy(req, self.bundle, cfg)
+        elif self.health is not None and not self.health.healthy(
+            strategy.resources
+        ):
+            raise ExecutionError(
+                "every resource of the given strategy is quarantined: "
+                f"{', '.join(sorted(strategy.resources))}"
+            )
         self.sim.trace.record(
             self.sim.now, "execution", app_name, "STRATEGY",
             binding=strategy.binding.value,
@@ -251,7 +333,8 @@ class ExecutionManager:
 
         # Step 5: execute the application on the pilots.
         unit_manager = UnitManager(
-            self.sim, self.network, scheduler=strategy.unit_scheduler
+            self.sim, self.network, scheduler=strategy.unit_scheduler,
+            health=self.health,
         )
         unit_manager.add_pilots(pilots)
         concrete = skeleton.concrete
@@ -290,6 +373,29 @@ class ExecutionManager:
             rec_state["pending"] -= 1
             if all(u.is_final for u in units):
                 return  # nothing left to recover for
+            if self.health is not None and self.health.is_quarantined(
+                description.resource
+            ):
+                # The breaker isolated the original resource while the
+                # backoff ran; reroute the replacement to the healthiest
+                # alternative instead of burning the attempt on a
+                # submission the pilot manager would fail fast.
+                healthy = self.health.healthy(self.bundle.resources())
+                if healthy:
+                    ranked = [
+                        name
+                        for name, _ in self.bundle.rank_by_expected_wait(
+                            cores=None
+                        )
+                        if name in healthy
+                    ]
+                    alt = ranked[0] if ranked else healthy[0]
+                    self.sim.trace.record(
+                        self.sim.now, "execution", app_name,
+                        "RECOVERY-REROUTE",
+                        quarantined=description.resource, resource=alt,
+                    )
+                    description = replace(description, resource=alt)
             replacement = self.pilot_manager.submit_pilots([description])[0]
             pilots.append(replacement)
             attach_guard(replacement)
@@ -312,7 +418,10 @@ class ExecutionManager:
                 and rec_state["used"] < recovery.max_resubmissions
                 and not all(u.is_final for u in units)
             ):
-                delay = recovery.delay(rec_state["used"])
+                delay = recovery.delay(
+                    rec_state["used"],
+                    rng=self.sim.rng.get("recovery-jitter"),
+                )
                 rec_state["used"] += 1
                 rec_state["pending"] += 1
                 self.sim.trace.record(
@@ -327,6 +436,8 @@ class ExecutionManager:
                 cancel_stranded_units()
 
         def attach_guard(pilot):
+            if self.health is not None:
+                self.health.observe_pilot(pilot)
             pilot.add_callback(
                 lambda p, state: (
                     on_pilot_final(p, state) if p.is_final else None
@@ -343,14 +454,73 @@ class ExecutionManager:
             reinforcer = PilotReinforcer(
                 self.sim, self.bundle, self.pilot_manager, unit_manager,
                 strategy, pilots, adaptation, self.access_schemas,
-                on_new_pilot=attach_guard,
+                on_new_pilot=attach_guard, health=self.health,
             )
+
+        # Health supervision: the watchdog frees units hung on a wedged
+        # resource; the deadline supervisor enforces the TTC budget and
+        # re-plans around quarantined resources; breaker re-closures poke
+        # the unit scheduler so freed work flows again immediately.
+        watchdog = None
+        supervisor = None
+        on_health_event = None
+        sup = self.supervision
+        if sup is not None and sup.watchdog_timeout_s is not None:
+            watchdog = UnitWatchdog(
+                self.sim, unit_manager, units, sup.watchdog_timeout_s,
+                registry=self.health,
+            )
+        if sup is not None and sup.deadline_s is not None:
+
+            def replan_fn(exclude):
+                base = config or PlannerConfig()
+                # clear the pins: a re-plan must be free to choose fewer
+                # pilots on different resources than the original run
+                cfg = replace(
+                    base, resources=None, n_pilots=None,
+                    exclude=tuple(sorted(set(base.exclude) | set(exclude))),
+                )
+                return derive_strategy(req, self.bundle, cfg)
+
+            def submit_fn(resource, strat):
+                desc = ComputePilotDescription(
+                    resource=resource,
+                    cores=strat.pilot_cores,
+                    runtime_min=strat.pilot_walltime_min,
+                    access_schema=self.access_schemas.get(resource, "slurm"),
+                )
+                pilot = self.pilot_manager.submit_pilots([desc])[0]
+                pilots.append(pilot)
+                attach_guard(pilot)
+                unit_manager.add_pilots(pilot)
+                return pilot
+
+            supervisor = DeadlineSupervisor(
+                self.sim, self.health, unit_manager, self.pilot_manager,
+                self.bundle, units, pilots, sup.deadline_s,
+                replan_fn, submit_fn,
+                check_interval_s=sup.check_interval_s,
+                max_replans=sup.max_replans,
+            )
+        if self.health is not None:
+
+            def on_health_event(ev):
+                if ev.kind in ("breaker-close", "breaker-half-open"):
+                    unit_manager.poke()
+
+            self.health.add_listener(on_health_event)
 
         yield unit_manager.wait_units(units)
         t_end = self.sim.now
 
         if reinforcer is not None:
             reinforcer.stop()
+        if watchdog is not None:
+            watchdog.stop()
+        if supervisor is not None:
+            supervisor.stop()
+        if on_health_event is not None:
+            self.health.remove_listener(on_health_event)
         # Cancel leftover pilots (do not waste allocation).
         self.pilot_manager.cancel_pilots(pilots)
         self.sim.trace.record(t_end, "execution", app_name, "END")
@@ -359,18 +529,26 @@ class ExecutionManager:
             self.fault_injector.log.between(t_start, t_end)
             if self.fault_injector is not None else None
         )
+        health_log = (
+            self.health.log.between(t_start, t_end)
+            if self.health is not None else None
+        )
         report = ExecutionReport(
             application=app_name,
             n_tasks=req.n_tasks,
             strategy=strategy,
             decomposition=decompose(
-                pilots, units, t_start, t_end, fault_log=fault_log
+                pilots, units, t_start, t_end, fault_log=fault_log,
+                health_log=health_log,
             ),
             pilots=pilots,
             units=units,
             adaptations=list(reinforcer.events) if reinforcer else [],
             recoveries=recoveries,
             fault_log=fault_log,
+            health_log=health_log,
+            replans=list(supervisor.replans) if supervisor else [],
+            deadline_expired=supervisor.expired if supervisor else False,
         )
         self.reports.append(report)
         return report

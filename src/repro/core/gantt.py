@@ -51,6 +51,7 @@ def render_timeline(
     t_end: float,
     width: int = 64,
     fault_log=None,
+    health_log=None,
 ) -> str:
     """Render one execution as an ASCII timeline."""
     if t_end <= t_start:
@@ -108,6 +109,37 @@ def render_timeline(
             label_w = len(pilots[0].uid) + 18 if pilots else 20
             label = f"{'faults injected':<{label_w}}"
             lines.append(f"{label} " + "".join(row))
+
+    # breaker rows: quarantine windows per resource ('Q' open, '?' half-
+    # open probing), reconstructed from the health-event trace.
+    if health_log is not None and len(health_log):
+        windows: dict = {}
+        opens: dict = {}
+        probes: dict = {}
+        for ev in health_log:
+            if ev.kind == "breaker-open":
+                opens.setdefault(ev.target, ev.time)
+            elif ev.kind == "breaker-half-open":
+                t0 = opens.pop(ev.target, t_start)
+                windows.setdefault(ev.target, []).append((t0, ev.time, "Q"))
+                probes[ev.target] = ev.time
+            elif ev.kind == "breaker-close":
+                t0 = probes.pop(ev.target, None)
+                if t0 is not None:
+                    windows.setdefault(ev.target, []).append(
+                        (t0, ev.time, "?")
+                    )
+        for target, t0 in opens.items():
+            windows.setdefault(target, []).append((t0, t_end, "Q"))
+        for target, t0 in probes.items():
+            windows.setdefault(target, []).append((t0, t_end, "?"))
+        label_w = len(pilots[0].uid) + 18 if pilots else 20
+        for target in sorted(windows):
+            row = _row(width)
+            for t0, t1, char in windows[target]:
+                _mark(row, t0, t1, t_start, t_end, char)
+            label = f"{f'breaker {target}':<{label_w}.{label_w}}"
+            lines.append(f"{label} " + "".join(row))
     return "\n".join(lines)
 
 
@@ -121,4 +153,5 @@ def render_report_timeline(report, width: int = 64) -> str:
     return render_timeline(
         report.pilots, report.units, d.t_start, d.t_end, width=width,
         fault_log=getattr(report, "fault_log", None),
+        health_log=getattr(report, "health_log", None),
     )

@@ -50,6 +50,12 @@ class TTCDecomposition:
     t_lost: float = 0.0
     #: injected faults that fell inside this execution's window.
     n_faults: int = 0
+    #: summed per-resource quarantine seconds (breaker-open windows)
+    #: overlapping this execution — time capacity was deliberately
+    #: withheld by the health layer, the supervision analogue of t_lost.
+    t_quarantined: float = 0.0
+    #: units the watchdog canceled and requeued for lack of progress.
+    units_rescheduled: int = 0
 
     @property
     def ttc(self) -> float:
@@ -126,19 +132,49 @@ def execution_intervals(units: Sequence[ComputeUnit]) -> List[Interval]:
     )
 
 
+def quarantine_seconds(health_log, t_start: float, t_end: float) -> float:
+    """Summed per-resource breaker-open time overlapping [t_start, t_end].
+
+    Windows are reconstructed from the health-event trace: a window
+    opens at ``breaker-open`` and ends at the matching
+    ``breaker-half-open`` (the only transition out of OPEN). A half-open
+    with no preceding open in the slice belongs to a window that opened
+    before the execution started; a window still open at the end of the
+    slice is clipped at ``t_end``.
+    """
+    opens: dict = {}
+    total = 0.0
+    for ev in health_log:
+        if ev.kind == "breaker-open":
+            opens.setdefault(ev.target, ev.time)
+        elif ev.kind == "breaker-half-open":
+            t0 = opens.pop(ev.target, t_start)
+            lo, hi = max(t0, t_start), min(ev.time, t_end)
+            if hi > lo:
+                total += hi - lo
+    for t0 in opens.values():
+        lo = max(t0, t_start)
+        if t_end > lo:
+            total += t_end - lo
+    return total
+
+
 def decompose(
     pilots: Sequence[ComputePilot],
     units: Sequence[ComputeUnit],
     t_start: float,
     t_end: float,
     fault_log=None,
+    health_log=None,
 ) -> TTCDecomposition:
     """Derive the TTC decomposition for one application execution.
 
     ``fault_log`` (a :class:`~repro.faults.FaultLog`, when the run was
     executed under fault injection) contributes the count of injected
     faults inside the execution window, so reports carry the chaos
-    context alongside the time components.
+    context alongside the time components. ``health_log`` (a
+    :class:`~repro.health.HealthEventLog`, when the run was supervised)
+    contributes the quarantine time and watchdog reschedule count.
     """
     if t_end < t_start:
         raise IntrospectionError("t_end precedes t_start")
@@ -197,5 +233,15 @@ def decompose(
         t_lost=sum(t1 - t0 for t0, t1 in lost_intervals(units)),
         n_faults=(
             len(fault_log.between(t_start, t_end)) if fault_log is not None else 0
+        ),
+        t_quarantined=(
+            quarantine_seconds(
+                health_log.between(t_start, t_end), t_start, t_end
+            )
+            if health_log is not None else 0.0
+        ),
+        units_rescheduled=(
+            len(health_log.between(t_start, t_end).of_kind("watchdog-reschedule"))
+            if health_log is not None else 0
         ),
     )

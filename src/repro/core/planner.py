@@ -49,6 +49,10 @@ class PlannerConfig:
     pilot_cores: Optional[int] = None       # derived from app concurrency
     pilot_walltime_min: Optional[float] = None   # derived from Tx+Ts+Trp
     max_pilots: int = 3
+    #: resources the planner must not use (e.g. quarantined by the
+    #: health layer during runtime re-planning). Pinning a resource that
+    #: is also excluded is a :class:`PlanningError`.
+    exclude: Tuple[str, ...] = ()
     #: optimization metric for resource selection: "ttc" ranks by the
     #: bundle's predicted queue wait alone; "data" adds the estimated
     #: staging time of this application's per-resource data share
@@ -103,6 +107,15 @@ def derive_strategy(
     config = config or PlannerConfig()
     decisions: list[Decision] = []
 
+    excluded = set(config.exclude)
+    if excluded and config.resources is not None:
+        overlap = excluded & set(config.resources)
+        if overlap:
+            raise PlanningError(
+                f"pinned resources {sorted(overlap)} are excluded "
+                "(quarantined?) — unpin or wait for recovery"
+            )
+
     # -- decision 1: binding ------------------------------------------------------
     binding = config.binding
     decisions.append(
@@ -128,7 +141,12 @@ def derive_strategy(
     )
 
     # -- decision 3: number of pilots (depends on binding) ----------------------------
-    pool = bundle.resources()
+    pool = [r for r in bundle.resources() if r not in excluded]
+    if not pool and config.resources is None:
+        raise PlanningError(
+            f"no usable resources in bundle {bundle.name!r}: all "
+            f"{len(excluded)} excluded"
+        )
     if config.n_pilots is not None:
         n_pilots = config.n_pilots
     elif binding is Binding.EARLY:
@@ -168,6 +186,7 @@ def derive_strategy(
                     wait + bundle.estimate_transfer_time(name, share),
                 )
                 for name, wait in bundle.rank_by_expected_wait(cores=None)
+                if name not in excluded
             ),
             key=lambda pair: pair[1],
         )
@@ -178,7 +197,11 @@ def derive_strategy(
             f"({', '.join(f'{n}:{s:.0f}s' for n, s in scored[:n_pilots])})"
         )
     elif config.optimize == "ttc":
-        ranked = bundle.rank_by_expected_wait(cores=None)
+        ranked = [
+            (name, wait)
+            for name, wait in bundle.rank_by_expected_wait(cores=None)
+            if name not in excluded
+        ]
         resources = tuple(name for name, _ in ranked[:n_pilots])
         rationale = (
             "resources ranked by the bundle's predicted queue wait "

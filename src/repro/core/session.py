@@ -85,11 +85,27 @@ def report_to_session(report) -> Dict[str, Any]:
             "restarts": d.restarts,
             "units_canceled": d.units_canceled,
             "t_lost": d.t_lost, "n_faults": d.n_faults,
+            "t_quarantined": d.t_quarantined,
+            "units_rescheduled": d.units_rescheduled,
         },
         "faults": (
             report.fault_log.to_list()
             if getattr(report, "fault_log", None) is not None else []
         ),
+        "health": (
+            report.health_log.to_list()
+            if getattr(report, "health_log", None) is not None else []
+        ),
+        "deadline_expired": bool(getattr(report, "deadline_expired", False)),
+        "replans": [
+            {
+                "time": r.time,
+                "quarantined": list(r.quarantined),
+                "resources": list(r.resources),
+                "submitted": list(r.submitted),
+            }
+            for r in getattr(report, "replans", [])
+        ],
         "recoveries": [
             {
                 "time": r.time, "resource": r.resource,
@@ -127,6 +143,9 @@ class Session:
     units: List[EntityRecord] = field(default_factory=list)
     faults: List[Dict[str, Any]] = field(default_factory=list)
     recoveries: List[Dict[str, Any]] = field(default_factory=list)
+    health: List[Dict[str, Any]] = field(default_factory=list)
+    replans: List[Dict[str, Any]] = field(default_factory=list)
+    deadline_expired: bool = False
 
     @property
     def ttc(self) -> float:
@@ -161,6 +180,9 @@ def session_from_dict(data: Dict[str, Any]) -> Session:
         units=[rebuild(r) for r in data["units"]],
         faults=list(data.get("faults", [])),
         recoveries=list(data.get("recoveries", [])),
+        health=list(data.get("health", [])),
+        replans=list(data.get("replans", [])),
+        deadline_expired=bool(data.get("deadline_expired", False)),
     )
 
 

@@ -43,6 +43,7 @@ def build_environment(
     latency_s: Optional[float] = None,
     prime: bool = True,
     presets: Optional[Sequence[ResourcePreset]] = None,
+    supervision=None,
 ) -> Environment:
     """Create a fresh, fully wired simulated testbed.
 
@@ -50,7 +51,10 @@ def build_environment(
     have heterogeneous connectivity); pass explicit numbers to force a
     uniform network for controlled comparisons. ``presets`` replaces the
     named built-in pool with explicit presets (e.g. a synthetic pool for
-    scaling studies).
+    scaling studies). ``supervision`` (a
+    :class:`~repro.health.SupervisionPolicy`) turns on resource health
+    supervision — circuit breakers, the unit watchdog, and the deadline
+    supervisor — on the Execution Manager.
     """
     sim = Simulation(seed=seed)
     network = Network(sim)
@@ -76,7 +80,9 @@ def build_environment(
         )
     bundle = BundleManager(sim, network).create_bundle("testbed", pool.values())
     schemas = {n: r.preset.access_schema for n, r in pool.items()}
-    em = ExecutionManager(sim, network, bundle, access_schemas=schemas)
+    em = ExecutionManager(
+        sim, network, bundle, access_schemas=schemas, supervision=supervision,
+    )
     return Environment(
         sim=sim, network=network, pool=pool, bundle=bundle,
         execution_manager=em,

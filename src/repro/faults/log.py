@@ -40,6 +40,13 @@ class FaultLog:
 
     def __init__(self, events: Tuple[FaultEvent, ...] = ()) -> None:
         self.events: List[FaultEvent] = list(events)
+        #: called with each event as it is recorded — the health
+        #: registry's live view of the damage (listeners never affect
+        #: the log's contents or digest).
+        self._listeners: List = []
+
+    def add_listener(self, fn) -> None:
+        self._listeners.append(fn)
 
     def record(self, time: float, kind: str, target: str, **details) -> FaultEvent:
         ev = FaultEvent(
@@ -49,6 +56,8 @@ class FaultLog:
             details=tuple(sorted(details.items())),
         )
         self.events.append(ev)
+        for fn in list(self._listeners):
+            fn(ev)
         return ev
 
     # -- views ---------------------------------------------------------------

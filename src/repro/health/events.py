@@ -1,0 +1,97 @@
+"""The health-event trace: a deterministic record of supervision decisions.
+
+Every health-state transition (breaker opens/closes, watchdog
+reschedules, mid-run re-plans, deadline expiry) is appended here with
+its simulated timestamp. Like the :class:`~repro.faults.FaultLog`, the
+log renders to canonical JSON and hashes to a digest, so two runs of the
+same seeded scenario must produce byte-for-byte identical supervision
+timelines — the chaos machinery stays a controlled experiment even once
+it changes decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One supervision decision or health-state transition."""
+
+    time: float
+    kind: str      # "breaker-open" | "breaker-close" | "watchdog-reschedule" | ...
+    target: str    # stable name: a resource or a unit name
+    details: Tuple[Tuple[str, object], ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "details": dict(self.details),
+        }
+
+
+class HealthEventLog:
+    """Append-only, deterministic record of supervision events."""
+
+    def __init__(self, events: Tuple[HealthEvent, ...] = ()) -> None:
+        self.events: List[HealthEvent] = list(events)
+
+    def record(self, time: float, kind: str, target: str, **details) -> HealthEvent:
+        ev = HealthEvent(
+            time=float(time),
+            kind=kind,
+            target=target,
+            details=tuple(sorted(details.items())),
+        )
+        self.events.append(ev)
+        return ev
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[HealthEvent]:
+        return iter(self.events)
+
+    def between(self, t0: float, t1: float) -> "HealthEventLog":
+        """Sub-log of events with t0 <= time <= t1 (for one execution)."""
+        return HealthEventLog(tuple(e for e in self.events if t0 <= e.time <= t1))
+
+    def of_kind(self, kind: str) -> Tuple[HealthEvent, ...]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    # -- reproducibility -----------------------------------------------------
+
+    def to_list(self) -> List[Dict[str, object]]:
+        return [e.as_dict() for e in self.events]
+
+    def canonical_json(self) -> str:
+        """Canonical rendering: stable key order, exact float repr."""
+        return json.dumps(self.to_list(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — equal iff the traces are identical."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        if not self.events:
+            return "health: no supervision events"
+        kinds = ", ".join(
+            f"{k} x{n}" for k, n in sorted(self.by_kind().items())
+        )
+        return (
+            f"health: {len(self.events)} events ({kinds}); "
+            f"digest {self.digest()[:12]}"
+        )

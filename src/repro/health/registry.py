@@ -1,0 +1,222 @@
+"""The health registry: one place where resource trust is decided.
+
+The registry fuses every signal the middleware already produces into a
+per-resource health state:
+
+* **Bundle monitor subscriptions** (:meth:`HealthRegistry.watch`) — a
+  threshold subscription per resource fires when the snapshot reports
+  the cluster offline, tripping the breaker directly;
+* **SAGA submission outcomes** — the pilot manager reports rejected and
+  exhausted submissions (failures) and accepted ones (successes);
+* **pilot lifecycles** (:meth:`observe_pilot`) — an ACTIVE transition is
+  a success, a FAILED one a failure (quarantine fail-fasts excluded);
+* **FaultLog events** (:meth:`on_fault_event`) — observed outages and
+  full link partitions are direct evidence and trip the breaker without
+  waiting for the failure threshold.
+
+Each resource gets a :class:`~repro.health.breaker.CircuitBreaker` and a
+smoothed health score; every transition lands in the deterministic
+:class:`~repro.health.events.HealthEventLog` and the kernel trace, so
+the supervision timeline is reproducible byte-for-byte from the seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..des import Simulation
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from .events import HealthEvent, HealthEventLog
+
+#: EWMA weight of the previous score (successes/failures move it slowly).
+SCORE_DECAY = 0.7
+
+
+class HealthRegistry:
+    """Per-resource health scores, breakers, and the supervision trace."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        breaker: Optional[BreakerPolicy] = None,
+        score_decay: float = SCORE_DECAY,
+    ) -> None:
+        if not 0.0 <= score_decay < 1.0:
+            raise ValueError("score_decay must be in [0, 1)")
+        self.sim = sim
+        #: breaker policy for all resources; None disables quarantining
+        #: (the registry still scores resources and keeps the trace).
+        self.breaker_policy = breaker
+        self.score_decay = score_decay
+        self.log = HealthEventLog()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._scores: Dict[str, float] = {}
+        self._listeners: List[Callable[[HealthEvent], None]] = []
+        self._watch_subs: list = []
+
+    # -- breakers ------------------------------------------------------------
+
+    def breaker(self, resource: str) -> Optional[CircuitBreaker]:
+        """The resource's breaker (created on first use; None if disabled)."""
+        if self.breaker_policy is None:
+            return None
+        brk = self._breakers.get(resource)
+        if brk is None:
+            brk = CircuitBreaker(
+                self.sim, resource, self.breaker_policy, on_event=self._emit
+            )
+            self._breakers[resource] = brk
+        return brk
+
+    def breaker_state(self, resource: str) -> BreakerState:
+        brk = self._breakers.get(resource)
+        return brk.state if brk is not None else BreakerState.CLOSED
+
+    def is_quarantined(self, resource: str) -> bool:
+        brk = self._breakers.get(resource)
+        return brk is not None and brk.is_quarantined
+
+    def allow_submission(self, resource: str) -> bool:
+        """Gate for the pilot manager (half-open hands out one probe slot)."""
+        brk = self.breaker(resource)
+        return True if brk is None else brk.allow_submission()
+
+    def healthy(self, resources: Sequence[str]) -> Tuple[str, ...]:
+        """The subset of ``resources`` not currently quarantined."""
+        return tuple(r for r in resources if not self.is_quarantined(r))
+
+    def quarantined(self, resources: Sequence[str]) -> Tuple[str, ...]:
+        return tuple(r for r in resources if self.is_quarantined(r))
+
+    def quarantined_seconds(self, t0: float, t1: float) -> float:
+        """Summed per-resource quarantine time overlapping [t0, t1]."""
+        return sum(
+            brk.quarantined_seconds(t0, t1) for brk in self._breakers.values()
+        )
+
+    # -- scores --------------------------------------------------------------
+
+    def score(self, resource: str) -> float:
+        """Smoothed health in [0, 1]; resources start fully trusted."""
+        return self._scores.get(resource, 1.0)
+
+    def _update_score(self, resource: str, outcome: float) -> None:
+        prev = self.score(resource)
+        self._scores[resource] = (
+            self.score_decay * prev + (1.0 - self.score_decay) * outcome
+        )
+
+    # -- signal feeds --------------------------------------------------------
+
+    def record_success(self, resource: str, kind: str = "success") -> None:
+        self._update_score(resource, 1.0)
+        brk = self.breaker(resource)
+        if brk is not None:
+            brk.record_success(kind)
+
+    def record_failure(self, resource: str, kind: str = "failure") -> None:
+        self._update_score(resource, 0.0)
+        brk = self.breaker(resource)
+        if brk is not None:
+            brk.record_failure(kind)
+
+    def record_submission(self, resource: str, ok: bool) -> None:
+        """SAGA submission outcome. Failures count against the breaker;
+        acceptances only lift the score — a queued placeholder proves
+        nothing yet, so half-open breakers wait for pilot activation."""
+        if ok:
+            self._update_score(resource, 1.0)
+        else:
+            self.record_failure(resource, "submit-fail")
+
+    def observe_pilot(self, pilot) -> None:
+        """Feed one pilot's lifecycle into its resource's health state."""
+        pilot.add_callback(self._on_pilot_state)
+
+    def _on_pilot_state(self, pilot, state) -> None:
+        # local import: repro.pilot must stay importable without health
+        from ..pilot import PilotState
+
+        if state is PilotState.ACTIVE:
+            self.record_success(pilot.resource, "pilot-active")
+        elif state is PilotState.FAILED:
+            # A quarantine fail-fast is the breaker talking to itself,
+            # not evidence about the resource.
+            if not getattr(pilot, "quarantine_rejected", False):
+                self.record_failure(pilot.resource, "pilot-failed")
+
+    def on_fault_event(self, event) -> None:
+        """FaultLog listener: direct evidence trips the breaker at once."""
+        brk = self.breaker(event.target)
+        if brk is None:
+            return
+        details = dict(event.details)
+        if event.kind == "outage":
+            self._update_score(event.target, 0.0)
+            brk.trip("outage-observed")
+        elif event.kind == "link-degrade" and details.get("factor") == 0.0:
+            self._update_score(event.target, 0.0)
+            brk.trip("link-partition")
+
+    # -- bundle monitoring ---------------------------------------------------
+
+    def watch(self, bundle, renotify_s: Optional[float] = None) -> None:
+        """Subscribe to every resource of ``bundle``: offline snapshots trip
+        the breaker (and keep it tripped while the outage persists)."""
+        if renotify_s is None and self.breaker_policy is not None:
+            # re-trip a still-offline resource before its cooldown probes it
+            renotify_s = self.breaker_policy.cooldown_s / 2.0
+        for resource in bundle.resources():
+            sub = bundle.subscribe(
+                resource,
+                predicate=lambda snap: snap.compute.offline,
+                callback=self._on_monitor_offline,
+                renotify_s=renotify_s,
+            )
+            self._watch_subs.append((bundle, sub))
+
+    def unwatch(self) -> None:
+        """Drop all monitor subscriptions (the sampling loop then stops)."""
+        for bundle, sub in self._watch_subs:
+            bundle.monitor.unsubscribe(sub)
+        self._watch_subs = []
+
+    def _on_monitor_offline(self, sub_uid: int, snapshot) -> None:
+        self._update_score(snapshot.name, 0.0)
+        brk = self.breaker(snapshot.name)
+        if brk is not None:
+            brk.trip("monitor-offline")
+
+    # -- event plumbing ------------------------------------------------------
+
+    def add_listener(self, fn: Callable[[HealthEvent], None]) -> None:
+        """Call ``fn`` on every health event (e.g. to poke a scheduler)."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[HealthEvent], None]) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    def record_event(self, kind: str, target: str, **details) -> HealthEvent:
+        """Append a supervision event (watchdog, supervisor) to the trace."""
+        ev = self.log.record(self.sim.now, kind, target, **details)
+        self.sim.trace.record(
+            self.sim.now, "health", target, kind.upper(), **details
+        )
+        for fn in list(self._listeners):
+            fn(ev)
+        return ev
+
+    def _emit(self, kind: str, resource: str, **details) -> None:
+        self.record_event(kind, resource, **details)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-resource health view (for reports and debugging)."""
+        names = set(self._scores) | set(self._breakers)
+        return {
+            name: {
+                "score": round(self.score(name), 4),
+                "state": self.breaker_state(name).value,
+            }
+            for name in sorted(names)
+        }

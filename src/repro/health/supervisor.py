@@ -1,0 +1,192 @@
+"""Deadline supervision: an end-to-end TTC budget with runtime re-planning.
+
+Late binding defers *which pilot* runs a task; the supervisor defers
+*which resources* carry the execution. While the run is inside its TTC
+budget, it watches the health registry: when resources the strategy
+bound have been quarantined and work remains, it re-invokes the planner
+over only-healthy resources (late *re*-binding) and submits the pilots
+the revised strategy asks for. When the budget is exhausted, it degrades
+gracefully — cancels what cannot finish, lets units that already reached
+output staging complete, and stamps the report with explicit accounting
+(``deadline_expired``) instead of running forever.
+
+The planner is injected as a callable so this module stays below
+:mod:`repro.core` in the layering (the Execution Manager closes the
+loop by passing ``derive_strategy`` down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..des import Simulation
+from .breaker import BreakerPolicy
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How hard the middleware supervises resource health at runtime."""
+
+    #: breaker policy for every resource; None disables quarantining.
+    breaker: Optional[BreakerPolicy] = BreakerPolicy()
+    #: per-unit progress deadline; None disables the watchdog.
+    watchdog_timeout_s: Optional[float] = None
+    #: end-to-end TTC budget per execution; None disables the deadline.
+    deadline_s: Optional[float] = None
+    #: how often the deadline supervisor re-examines the run.
+    check_interval_s: float = 300.0
+    #: mid-run strategy revisions allowed per execution.
+    max_replans: int = 2
+
+    def __post_init__(self) -> None:
+        if self.watchdog_timeout_s is not None and self.watchdog_timeout_s <= 0:
+            raise ValueError("watchdog_timeout_s must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+        if self.max_replans < 0:
+            raise ValueError("max_replans must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.breaker is not None
+            or self.watchdog_timeout_s is not None
+            or self.deadline_s is not None
+        )
+
+
+@dataclass(frozen=True)
+class ReplanEvent:
+    """One mid-run re-derivation of the execution strategy."""
+
+    time: float
+    quarantined: Tuple[str, ...]   # resources excluded from the re-plan
+    resources: Tuple[str, ...]     # resources of the revised strategy
+    submitted: Tuple[str, ...]     # resources that received a new pilot
+
+
+class DeadlineSupervisor:
+    """Enforces one execution's TTC budget and re-plans around quarantine."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        registry,
+        unit_manager,
+        pilot_manager,
+        bundle,
+        units: List,
+        pilots: List,
+        deadline_s: float,
+        replan_fn: Callable[[Tuple[str, ...]], object],
+        submit_fn: Callable[[str, object], object],
+        check_interval_s: float = 300.0,
+        max_replans: int = 2,
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.unit_manager = unit_manager
+        self.pilot_manager = pilot_manager
+        self.bundle = bundle
+        self.units = units
+        self.pilots = pilots
+        self.t_deadline = sim.now + deadline_s
+        #: derives a strategy over the bundle minus the given resources;
+        #: may raise PlanningError when nothing healthy remains.
+        self.replan_fn = replan_fn
+        #: submits one pilot for (resource, strategy); returns the pilot.
+        self.submit_fn = submit_fn
+        self.check_interval_s = check_interval_s
+        self.max_replans = max_replans
+        self.replans: List[ReplanEvent] = []
+        self.expired = False
+        self._stopped = False
+        sim.process(self._watch(), name="deadline-supervisor")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- internals -----------------------------------------------------------
+
+    def _work_remaining(self) -> bool:
+        return any(not u.is_final for u in self.units)
+
+    def _watch(self):
+        while not self._stopped:
+            wait = min(self.check_interval_s, self.t_deadline - self.sim.now)
+            yield self.sim.timeout(max(wait, 0.0))
+            if self._stopped or not self._work_remaining():
+                return
+            if self.sim.now >= self.t_deadline:
+                self._expire()
+                return
+            self._maybe_replan()
+
+    def _maybe_replan(self) -> None:
+        if len(self.replans) >= self.max_replans:
+            return
+        live = {p.resource for p in self.pilots if not p.is_final}
+        quarantined = self.registry.quarantined(tuple(live))
+        if not quarantined:
+            return
+        exclude = self.registry.quarantined(self.bundle.resources())
+        try:
+            strategy = self.replan_fn(exclude)
+        except Exception as exc:  # PlanningError: nothing healthy remains
+            self.registry.record_event(
+                "replan-failed", ",".join(sorted(exclude)), error=str(exc),
+            )
+            return
+        usable = live - set(quarantined)
+        submitted = []
+        for resource in strategy.resources:
+            if resource in usable:
+                continue  # already carried by a healthy pilot
+            pilot = self.submit_fn(resource, strategy)
+            if pilot is not None:
+                submitted.append(resource)
+        event = ReplanEvent(
+            time=self.sim.now,
+            quarantined=tuple(sorted(exclude)),
+            resources=tuple(strategy.resources),
+            submitted=tuple(submitted),
+        )
+        self.replans.append(event)
+        self.registry.record_event(
+            "replan",
+            ",".join(sorted(exclude)) or "*",
+            resources=list(strategy.resources),
+            submitted=submitted,
+        )
+
+    def _expire(self) -> None:
+        self.expired = True
+        unfinished = [u for u in self.units if not u.is_final]
+        self.registry.record_event(
+            "deadline-expired",
+            "*",
+            unfinished=len(unfinished),
+            done=sum(1 for u in self.units if u.state.value == "DONE"),
+        )
+        # Degrade to a partial result: units already staging output get
+        # to finish (their compute is spent and safe); everything else
+        # is canceled so the execution terminates with honest accounting.
+        self.unit_manager.cancel_units([
+            u for u in unfinished if u.state.value != "STAGING_OUTPUT"
+        ])
+        self.pilot_manager.cancel_pilots(self.pilots)
+        # Termination guarantee: output staging gets one check interval
+        # of grace, then anything still pending (e.g. a transfer hung on
+        # a partitioned link) is cut loose too.
+        self.sim.call_in(self.check_interval_s, self._final_sweep)
+
+    def _final_sweep(self) -> None:
+        leftovers = [u for u in self.units if not u.is_final]
+        if leftovers:
+            self.registry.record_event(
+                "deadline-sweep", "*", canceled=len(leftovers),
+            )
+            self.unit_manager.cancel_units(leftovers)

@@ -39,6 +39,9 @@ class ComputePilot:
         )
         self.agent: Optional["Agent"] = None
         self.saga_job = None  # set by the PilotManager
+        #: True when the pilot was failed fast by a quarantine rejection
+        #: (breaker open) — not evidence of resource misbehaviour.
+        self.quarantine_rejected = False
         self._active = Signal(sim)
         self._final = Signal(sim)
         self._callbacks: List[Callable[["ComputePilot", PilotState], None]] = []

@@ -41,6 +41,8 @@ class PilotManager:
         bootstrap_s: float = 0.0,
         submit_retries: int = 3,
         submit_backoff_s: float = 30.0,
+        submit_jitter_frac: float = 0.0,
+        health=None,
     ) -> None:
         self.sim = sim
         self._clusters = dict(clusters)
@@ -53,6 +55,18 @@ class PilotManager:
         #: with exponential backoff before the pilot is declared FAILED.
         self.submit_retries = int(submit_retries)
         self.submit_backoff_s = float(submit_backoff_s)
+        #: desynchronize retry backoffs by up to +-this fraction, drawn
+        #: from the kernel's seeded "pilot-submit-jitter" stream — several
+        #: pilots dying in one outage window then retry staggered instead
+        #: of hammering the batch system in lockstep. Reproducible: the
+        #: stream derives from the run seed, never from the fault plan.
+        if not 0.0 <= submit_jitter_frac < 1.0:
+            raise ValueError("submit_jitter_frac must be in [0, 1)")
+        self.submit_jitter_frac = float(submit_jitter_frac)
+        #: a :class:`~repro.health.HealthRegistry`; when set, submissions
+        #: to quarantined resources fail fast instead of feeding a
+        #: resource the middleware already knows is sick.
+        self.health = health
         #: applied to every adaptor as its service is created (and to the
         #: ones already cached) — the fault injector's entry point for
         #: making the SAGA layer fallible.
@@ -131,6 +145,19 @@ class PilotManager:
     ) -> None:
         if pilot.is_final:
             return  # canceled while waiting out a submission backoff
+        if self.health is not None and not self.health.allow_submission(
+            desc.resource
+        ):
+            # Quarantined resource: fail fast (breaker semantics), and
+            # mark the pilot so the registry does not read its FAILED
+            # state as fresh evidence against the resource.
+            pilot.quarantine_rejected = True
+            self.sim.trace.record(
+                self.sim.now, "pilot", pilot.uid, "SUBMIT-QUARANTINED",
+                resource=desc.resource,
+            )
+            pilot.advance(PilotState.FAILED)
+            return
         svc = self._service_for(desc.resource, desc.access_schema)
         job_desc = JobDescription(
             executable="/bin/aimes-pilot-agent",
@@ -146,8 +173,13 @@ class PilotManager:
             saga_job = svc.submit(job_desc)
         except TransientSubmitError:
             self.submit_faults += 1
+            if self.health is not None:
+                self.health.record_submission(desc.resource, ok=False)
             if attempt < self.submit_retries:
                 delay = self.submit_backoff_s * (2.0 ** attempt)
+                if self.submit_jitter_frac:
+                    u = self.sim.rng.get("pilot-submit-jitter").random()
+                    delay *= 1.0 + self.submit_jitter_frac * (2.0 * u - 1.0)
                 self.sim.trace.record(
                     self.sim.now, "pilot", pilot.uid, "SUBMIT-RETRY",
                     resource=desc.resource, attempt=attempt + 1,
@@ -163,12 +195,16 @@ class PilotManager:
             return
         except PermanentSubmitError:
             self.submit_faults += 1
+            if self.health is not None:
+                self.health.record_submission(desc.resource, ok=False)
             self.sim.trace.record(
                 self.sim.now, "pilot", pilot.uid, "SUBMIT-REJECTED",
                 resource=desc.resource,
             )
             pilot.advance(PilotState.FAILED)
             return
+        if self.health is not None:
+            self.health.record_submission(desc.resource, ok=True)
         pilot.saga_job = saga_job
         saga_job.add_callback(
             lambda job, state, p=pilot: self._on_saga_state(p, job, state)

@@ -31,9 +31,15 @@ class UnitManager:
         sim: Simulation,
         network: Network,
         scheduler: "str | UnitScheduler" = "backfill",
+        health=None,
     ) -> None:
         self.sim = sim
         self.network = network
+        #: a :class:`~repro.health.HealthRegistry`; when set, scheduling
+        #: passes hide pilots on quarantined resources from the policy,
+        #: so no scheduler binds new work to a resource the breaker has
+        #: isolated (existing bound units are left to the watchdog).
+        self.health = health
         self.scheduler = (
             make_unit_scheduler(scheduler)
             if isinstance(scheduler, str) else scheduler
@@ -119,6 +125,24 @@ class UnitManager:
             if unit.state is not UnitState.CANCELED:
                 unit.advance(UnitState.CANCELED)
 
+    def reschedule_stalled(self, unit: ComputeUnit, cause: str = "watchdog-stall") -> bool:
+        """Cancel a hung unit's lifecycle process and requeue the unit.
+
+        The watchdog's entry point: the interrupt travels the same path
+        as a pilot death, so the unit fails, consumes one restart, and
+        returns to the pool for rebinding. Returns False when the unit
+        has no live driving process (nothing to reschedule).
+        """
+        proc = self._processes.get(unit.uid)
+        if proc is None or not proc.is_alive:
+            return False
+        proc.interrupt(cause)
+        return True
+
+    def poke(self) -> None:
+        """Request a scheduling pass (e.g. after a breaker state change)."""
+        self._schedule_pass()
+
     @property
     def completed_units(self) -> int:
         return sum(1 for u in self.units if u.state is UnitState.DONE)
@@ -141,7 +165,13 @@ class UnitManager:
         ]
         if not eligible:
             return
-        assignments = self.scheduler.assign(eligible, self.pilots)
+        pilots = self.pilots
+        if self.health is not None:
+            pilots = [
+                p for p in pilots
+                if not self.health.is_quarantined(p.resource)
+            ]
+        assignments = self.scheduler.assign(eligible, pilots)
         for unit, pilot in assignments:
             self._unbound.remove(unit)
             self._bind(unit, pilot)

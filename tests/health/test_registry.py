@@ -1,0 +1,187 @@
+"""HealthRegistry: fusing monitor, SAGA, pilot, and fault-log signals."""
+
+import pytest
+
+from repro.bundle import BundleManager
+from repro.cluster import Cluster
+from repro.des import Simulation
+from repro.faults import FaultLog
+from repro.health import BreakerPolicy, BreakerState, HealthRegistry
+from repro.net import Network
+from repro.pilot import ComputePilotDescription, PilotManager, PilotState
+
+
+def make_registry(**reg_kw):
+    sim = Simulation(seed=0)
+    reg_kw.setdefault("breaker", BreakerPolicy(failure_threshold=2))
+    return sim, HealthRegistry(sim, **reg_kw)
+
+
+def test_scores_start_trusted_and_move_with_outcomes():
+    sim, reg = make_registry()
+    assert reg.score("alpha") == 1.0
+    reg.record_failure("alpha")
+    assert reg.score("alpha") < 1.0
+    low = reg.score("alpha")
+    reg.record_success("alpha")
+    assert low < reg.score("alpha") < 1.0
+
+
+def test_score_decay_validation():
+    sim = Simulation(seed=0)
+    with pytest.raises(ValueError):
+        HealthRegistry(sim, score_decay=1.0)
+
+
+def test_failures_quarantine_through_the_breaker():
+    sim, reg = make_registry()
+    reg.record_failure("alpha")
+    assert not reg.is_quarantined("alpha")
+    reg.record_failure("alpha")
+    assert reg.is_quarantined("alpha")
+    assert reg.breaker_state("alpha") is BreakerState.OPEN
+    assert not reg.allow_submission("alpha")
+    assert reg.healthy(("alpha", "beta")) == ("beta",)
+    assert reg.quarantined(("alpha", "beta")) == ("alpha",)
+
+
+def test_no_breaker_policy_means_no_quarantine():
+    sim, reg = make_registry(breaker=None)
+    for _ in range(10):
+        reg.record_failure("alpha")
+    assert not reg.is_quarantined("alpha")
+    assert reg.allow_submission("alpha")
+    assert reg.score("alpha") < 0.1  # scoring still works
+
+
+def test_submission_acceptance_does_not_close_a_half_open_breaker():
+    """A queued placeholder proves nothing; only activation closes."""
+    sim, reg = make_registry(
+        breaker=BreakerPolicy(failure_threshold=1, cooldown_s=10.0)
+    )
+    reg.record_failure("alpha")
+    sim.run(until=11.0)
+    assert reg.breaker_state("alpha") is BreakerState.HALF_OPEN
+    assert reg.allow_submission("alpha")  # the probe
+    reg.record_submission("alpha", ok=True)
+    assert reg.breaker_state("alpha") is BreakerState.HALF_OPEN
+    reg.record_success("alpha", "pilot-active")
+    assert reg.breaker_state("alpha") is BreakerState.CLOSED
+
+
+def test_pilot_lifecycle_feeds_the_registry():
+    sim = Simulation(seed=0)
+    reg = HealthRegistry(sim, breaker=BreakerPolicy(failure_threshold=1))
+    clusters = {"alpha": Cluster(sim, "alpha", nodes=4, cores_per_node=8,
+                                 submit_overhead=1.0)}
+    pm = PilotManager(sim, clusters)
+    (pilot,) = pm.submit_pilots(
+        ComputePilotDescription(resource="alpha", cores=8, runtime_min=60)
+    )
+    reg.observe_pilot(pilot)
+    sim.run(until=500.0)
+    assert pilot.state is PilotState.ACTIVE
+    assert reg.score("alpha") > 0.5
+    assert not reg.is_quarantined("alpha")
+
+
+def test_quarantine_rejected_pilot_is_not_counted_as_failure():
+    """The breaker's own fail-fast must not feed back into the breaker."""
+    sim, reg = make_registry(breaker=BreakerPolicy(failure_threshold=1))
+
+    class FakePilot:
+        resource = "alpha"
+        quarantine_rejected = True
+
+        def add_callback(self, fn):
+            self.fn = fn
+
+    pilot = FakePilot()
+    reg.observe_pilot(pilot)
+    pilot.fn(pilot, PilotState.FAILED)
+    assert not reg.is_quarantined("alpha")
+    pilot.quarantine_rejected = False
+    pilot.fn(pilot, PilotState.FAILED)
+    assert reg.is_quarantined("alpha")
+
+
+def test_fault_log_listener_trips_on_outage_and_partition():
+    sim, reg = make_registry()
+    log = FaultLog()
+    log.add_listener(reg.on_fault_event)
+    log.record(sim.now, "outage", "alpha", duration=600.0)
+    assert reg.is_quarantined("alpha")
+    # a slowdown is not a partition: no trip
+    log.record(sim.now, "link-degrade", "beta", factor=0.5)
+    assert not reg.is_quarantined("beta")
+    log.record(sim.now, "link-degrade", "beta", factor=0.0)
+    assert reg.is_quarantined("beta")
+    # and the listener never altered the log's digest inputs
+    assert log.by_kind() == {"outage": 1, "link-degrade": 2}
+
+
+def test_fault_listener_ignores_other_kinds():
+    sim, reg = make_registry(breaker=BreakerPolicy(failure_threshold=5))
+    log = FaultLog()
+    log.add_listener(reg.on_fault_event)
+    log.record(sim.now, "pilot-kill", "alpha/pilot#0", cause="scripted")
+    assert not reg.is_quarantined("alpha")
+
+
+def make_bundle(sim, names=("alpha", "beta")):
+    net = Network(sim)
+    clusters = {}
+    for name in names:
+        net.add_site(name, bandwidth_bytes_per_s=1e7, latency_s=0.01)
+        clusters[name] = Cluster(sim, name, nodes=4, cores_per_node=8,
+                                 submit_overhead=1.0)
+    return clusters, BundleManager(sim, net).create_bundle("pool", clusters)
+
+
+def test_bundle_monitor_offline_trips_the_breaker():
+    sim = Simulation(seed=0)
+    clusters, bundle = make_bundle(sim)
+    reg = HealthRegistry(sim, breaker=BreakerPolicy(failure_threshold=5))
+    reg.watch(bundle)
+    clusters["alpha"].set_offline(3600.0)
+    sim.run(until=200.0)  # a couple of monitor ticks
+    assert reg.is_quarantined("alpha")
+    assert not reg.is_quarantined("beta")
+    assert reg.log.of_kind("breaker-open")[0].target == "alpha"
+
+
+def test_unwatch_releases_the_monitor_and_stops_sampling():
+    """Dropping the last subscription must end the sampling loop."""
+    sim = Simulation(seed=0)
+    clusters, bundle = make_bundle(sim)
+    reg = HealthRegistry(sim)
+    reg.watch(bundle)
+    sim.run(until=120.0)
+    assert bundle.monitor._running
+    reg.unwatch()
+    sim.run(until=300.0)  # past the next sampling tick
+    assert not bundle.monitor._running
+    assert not bundle.monitor._subs
+
+
+def test_snapshot_reports_scores_and_states():
+    sim, reg = make_registry()
+    reg.record_failure("alpha")
+    reg.record_failure("alpha")
+    reg.record_success("beta")
+    snap = reg.snapshot()
+    assert snap["alpha"]["state"] == "open"
+    assert snap["beta"]["state"] == "closed"
+    assert snap["alpha"]["score"] < snap["beta"]["score"]
+
+
+def test_record_event_reaches_listeners_and_the_trace():
+    sim, reg = make_registry()
+    seen = []
+    reg.add_listener(seen.append)
+    reg.record_event("watchdog-reschedule", "unit-1", state="EXECUTING")
+    assert len(seen) == 1 and seen[0].kind == "watchdog-reschedule"
+    assert sim.trace.query(event="WATCHDOG-RESCHEDULE")
+    reg.remove_listener(seen.append)
+    reg.record_event("replan", "*")
+    assert len(seen) == 1  # removed listeners stay quiet
