@@ -17,7 +17,7 @@ from repro.pilot import ComputePilotDescription, PilotManager
 
 
 def main() -> None:
-    env = build_environment(seed=77)
+    env = build_environment(seed=77, telemetry=True)
     sim, bundle = env.sim, env.bundle
 
     # Monitoring: subscribe to congestion events on every resource.
@@ -79,6 +79,12 @@ def main() -> None:
     print(f"\nCongestion alerts fired: {len(alerts)}")
     for t, name, qlen in alerts[:5]:
         print(f"  t={t / 3600:.1f}h {name}: queue length {qlen}")
+
+    # Telemetry: everything the run just did, as one metrics table.
+    print("\nTelemetry metrics after the study:")
+    print(sim.telemetry.metrics.render_table())
+    print()
+    print(sim.telemetry.summary())
 
 
 if __name__ == "__main__":

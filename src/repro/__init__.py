@@ -66,6 +66,16 @@ from .skeleton import (
     paper_skeleton,
     parse_config,
 )
+from .telemetry import (
+    KernelProfiler,
+    MetricsRegistry,
+    TelemetryHub,
+    TelemetrySummary,
+    chrome_trace,
+    otlp_trace,
+    save_chrome_trace,
+    save_otlp_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -84,6 +94,8 @@ __all__ = [
     "ExecutionStrategy",
     "JobDescription",
     "JobService",
+    "KernelProfiler",
+    "MetricsRegistry",
     "Network",
     "ORIGIN",
     "PRESETS",
@@ -98,15 +110,21 @@ __all__ = [
     "SkeletonApp",
     "StageSpec",
     "TTCDecomposition",
+    "TelemetryHub",
+    "TelemetrySummary",
     "UnitManager",
     "WorkloadProfile",
     "bag_of_tasks",
     "build_pool",
     "build_resource",
+    "chrome_trace",
     "derive_strategy",
     "map_reduce",
     "multistage",
+    "otlp_trace",
     "paper_skeleton",
     "parse_config",
+    "save_chrome_trace",
+    "save_otlp_trace",
     "__version__",
 ]

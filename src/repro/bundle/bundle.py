@@ -76,6 +76,16 @@ class ResourceBundle:
 
     def query(self, resource: str) -> ResourceRepresentation:
         """On-demand snapshot of one resource across all categories."""
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.metrics.counter("bundle.queries").inc()
+            with tel.span(
+                "bundle", "query", track=f"bundle/{self.name}", resource=resource
+            ):
+                return self._query(resource)
+        return self._query(resource)
+
+    def _query(self, resource: str) -> ResourceRepresentation:
         cluster = self.cluster(resource)
         link = self.network.link_to(resource)
         fs = self.network.fs(resource)

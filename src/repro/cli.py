@@ -159,7 +159,15 @@ def _build_supervision(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    env = build_environment(seed=args.seed, supervision=_build_supervision(args))
+    telemetry_on = bool(
+        args.telemetry or args.profile or args.trace_out
+    )
+    env = build_environment(
+        seed=args.seed, supervision=_build_supervision(args),
+        telemetry=telemetry_on,
+    )
+    tel = env.sim.telemetry
+    profiler = tel.attach_profiler() if args.profile else None
     env.warm_up(args.warmup_hours * 3600.0)
     skeleton = SkeletonAPI(
         paper_skeleton(args.tasks, gaussian=args.gaussian), seed=args.seed
@@ -191,7 +199,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             recovery = RecoveryPolicy(
                 max_resubmissions=args.max_resubmit, jitter_frac=0.1
             )
+    if telemetry_on:
+        # Live progress on stderr, refreshed at each virtual-time sample.
+        def _progress(hub, now):
+            if not args.telemetry:
+                return
+            g = hub.metrics.snapshot()["gauges"]
+            print(
+                f"\r[t={now:>9.0f}s] units {g.get('units.done', 0)}/"
+                f"{g.get('units.total', 0)} done, "
+                f"pilots active {g.get('pilots.active', 0)}, "
+                f"events {g.get('kernel.events-processed', 0)}",
+                end="", file=sys.stderr, flush=True,
+            )
+
+        tel.start_sampler(env.sim, args.sample_interval, on_sample=_progress)
     report = env.execution_manager.execute(skeleton, config, recovery=recovery)
+    if telemetry_on:
+        tel.stop_sampler(env.sim)
+        tel.close_open_spans()
+        if args.telemetry:
+            print(file=sys.stderr)  # terminate the progress line
     print(report.strategy.describe())
     print()
     print(report.summary())
@@ -212,6 +240,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_report_timeline(report))
+    if args.telemetry:
+        print()
+        print(tel.metrics.render_table())
+        print()
+        print(tel.summary())
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    if args.trace_out:
+        from .telemetry import save_chrome_trace, save_otlp_trace
+
+        if args.trace_format == "otlp":
+            save_otlp_trace(tel, args.trace_out)
+        else:
+            save_chrome_trace(tel, args.trace_out, tracer=env.sim.trace)
+        print(
+            f"\n{args.trace_format} trace written to {args.trace_out} "
+            f"(telemetry digest {tel.digest()[:12]})"
+        )
     if args.save:
         from .core import save_session
 
@@ -287,6 +334,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                    help="end-to-end TTC budget: re-plan around sick "
                         "resources, degrade to a partial result on expiry")
+    p.add_argument("--telemetry", action="store_true",
+                   help="enable the telemetry hub: live progress line, "
+                        "metrics table, and span summary")
+    p.add_argument("--profile", action="store_true",
+                   help="profile the kernel: wall-clock attribution per "
+                        "event type and per process")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write the telemetry trace to FILE "
+                        "(implies telemetry collection)")
+    p.add_argument("--trace-format", choices=("chrome", "otlp"),
+                   default="chrome",
+                   help="trace file format: Chrome trace-event JSON for "
+                        "Perfetto (default) or OTLP-style JSON spans")
+    p.add_argument("--sample-interval", type=float, default=600.0,
+                   metavar="SECONDS",
+                   help="virtual-time cadence of metric samples and the "
+                        "progress line (default: 600)")
 
     return parser
 

@@ -27,6 +27,12 @@ class SubmissionError(Exception):
     """Raised when a job can never run on this resource."""
 
 
+#: Bucket boundaries for the scheduler-pass-length histogram (pending
+#: jobs examined per pass); shared so every cluster observes into the
+#: same instrument without a boundary conflict.
+SCHEDULER_PASS_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
 class Cluster:
     """A space-shared HPC resource driven by the simulation kernel."""
 
@@ -256,15 +262,29 @@ class Cluster:
                 for job, expected_end, _ in self._running.values()
             ),
         )
-        picks = self.scheduler.select(view)
-        seen = set()
-        for job in picks:
-            if job.uid in seen:
-                raise RuntimeError(
-                    f"scheduler {self.scheduler.name} picked {job.name} twice"
-                )
-            seen.add(job.uid)
-            self._start(job)
+        tel = self.sim.telemetry
+        with tel.span(
+            "cluster",
+            "scheduler-pass",
+            track=f"cluster/{self.name}",
+            policy=self.scheduler.name,
+            pending=len(self._pending),
+            free_cores=self.pool.free_cores,
+        ):
+            picks = self.scheduler.select(view)
+            seen = set()
+            for job in picks:
+                if job.uid in seen:
+                    raise RuntimeError(
+                        f"scheduler {self.scheduler.name} picked {job.name} twice"
+                    )
+                seen.add(job.uid)
+                self._start(job)
+        if tel.enabled:
+            tel.metrics.counter("cluster.scheduler-passes").inc()
+            tel.metrics.histogram(
+                "cluster.scheduler-pass-length", SCHEDULER_PASS_BUCKETS
+            ).observe(len(view.pending))
 
     def _start(self, job: BatchJob) -> None:
         if job not in self._pending:

@@ -15,12 +15,12 @@ quantities an experimenter plots:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..des import Tracer
 from ..pilot import ComputePilot, ComputeUnit, PilotState, UnitState
+from ..telemetry import trace_records_json
 
 
 def state_durations(
@@ -132,21 +132,11 @@ def allocation_metrics(
 
 
 def export_trace(tracer: Tracer, category: Optional[str] = None) -> str:
-    """Serialize trace records to JSON (optionally one category)."""
+    """Serialize trace records to JSON (optionally one category).
+
+    Kept as the stable public API; the rendering itself lives with the
+    other exporters in :mod:`repro.telemetry.exporters` and the output
+    bytes are unchanged.
+    """
     records = tracer.query(category=category) if category else tracer.records
-    return json.dumps(
-        [
-            {
-                "time": r.time,
-                "category": r.category,
-                "entity": r.entity,
-                "event": r.event,
-                "data": {
-                    k: (list(v) if isinstance(v, tuple) else v)
-                    for k, v in r.data.items()
-                },
-            }
-            for r in records
-        ],
-        indent=1,
-    )
+    return trace_records_json(records)

@@ -43,6 +43,7 @@ from ..pilot import (
     UnitState,
 )
 from ..skeleton import SkeletonAPI
+from ..telemetry import TelemetrySummary
 from .adaptive import AdaptationEvent, AdaptationPolicy, PilotReinforcer
 from .instrumentation import TTCDecomposition, decompose
 from .planner import PlannerConfig, derive_strategy
@@ -122,6 +123,10 @@ class ExecutionReport:
     #: True when the TTC budget expired and the run degraded to a
     #: partial result (see ``decomposition.units_done`` for what landed).
     deadline_expired: bool = False
+    #: per-execution telemetry summary (None when the hub is disabled);
+    #: carries the metrics snapshot, the hub digest, and the enactment
+    #: steps' virtual-time intervals for the Gantt renderer.
+    telemetry: Optional[TelemetrySummary] = field(repr=False, default=None)
 
     @property
     def ttc(self) -> float:
@@ -269,43 +274,57 @@ class ExecutionManager:
         t_start = self.sim.now
         app_name = skeleton.app.name
         self.sim.trace.record(t_start, "execution", app_name, "START")
+        tel = self.sim.telemetry
+        em_track = f"em/{app_name}"
+        #: the five enactment steps' spans (None entries while disabled).
+        em_spans: List = []
 
         # Steps 1-2: application and resource information.
-        req = skeleton.requirements()
+        with tel.span(
+            "execution", "gather-information", track=em_track, app=app_name
+        ) as sp:
+            req = skeleton.requirements()
+        em_spans.append(sp)
 
         # Step 3: strategy derivation. Under supervision, quarantined
         # resources are invisible to the planner; a pool with nothing
         # healthy left is a clear, immediate error — not a run that
         # deadlocks waiting on submissions the breakers will reject.
-        if self.health is not None:
-            pool = self.bundle.resources()
-            if not self.health.healthy(pool):
-                raise ExecutionError(
-                    f"all {len(pool)} resources of bundle "
-                    f"{self.bundle.name!r} are quarantined "
-                    f"({', '.join(sorted(pool))}); wait for a breaker "
-                    "cooldown or widen the bundle"
-                )
-        if strategy is None:
-            cfg = config
+        with tel.span(
+            "execution", "derive-strategy", track=em_track, app=app_name
+        ) as sp:
             if self.health is not None:
-                quarantined = self.health.quarantined(self.bundle.resources())
-                if quarantined:
-                    base = cfg or PlannerConfig()
-                    cfg = replace(
-                        base,
-                        exclude=tuple(
-                            sorted(set(base.exclude) | set(quarantined))
-                        ),
+                pool = self.bundle.resources()
+                if not self.health.healthy(pool):
+                    raise ExecutionError(
+                        f"all {len(pool)} resources of bundle "
+                        f"{self.bundle.name!r} are quarantined "
+                        f"({', '.join(sorted(pool))}); wait for a breaker "
+                        "cooldown or widen the bundle"
                     )
-            strategy = derive_strategy(req, self.bundle, cfg)
-        elif self.health is not None and not self.health.healthy(
-            strategy.resources
-        ):
-            raise ExecutionError(
-                "every resource of the given strategy is quarantined: "
-                f"{', '.join(sorted(strategy.resources))}"
-            )
+            if strategy is None:
+                cfg = config
+                if self.health is not None:
+                    quarantined = self.health.quarantined(
+                        self.bundle.resources()
+                    )
+                    if quarantined:
+                        base = cfg or PlannerConfig()
+                        cfg = replace(
+                            base,
+                            exclude=tuple(
+                                sorted(set(base.exclude) | set(quarantined))
+                            ),
+                        )
+                strategy = derive_strategy(req, self.bundle, cfg)
+            elif self.health is not None and not self.health.healthy(
+                strategy.resources
+            ):
+                raise ExecutionError(
+                    "every resource of the given strategy is quarantined: "
+                    f"{', '.join(sorted(strategy.resources))}"
+                )
+        em_spans.append(sp)
         self.sim.trace.record(
             self.sim.now, "execution", app_name, "STRATEGY",
             binding=strategy.binding.value,
@@ -317,21 +336,37 @@ class ExecutionManager:
         )
 
         # Preparation: input files appear at the origin.
-        skeleton.prepare(self.network)
+        with tel.span(
+            "execution", "prepare-inputs", track=em_track, app=app_name
+        ) as sp:
+            skeleton.prepare(self.network)
+        em_spans.append(sp)
 
         # Step 4: describe and instantiate pilots.
-        descriptions = [
-            ComputePilotDescription(
-                resource=r,
-                cores=strategy.pilot_cores,
-                runtime_min=strategy.pilot_walltime_min,
-                access_schema=self.access_schemas.get(r, "slurm"),
-            )
-            for r in strategy.resources
-        ]
-        pilots = self.pilot_manager.submit_pilots(descriptions)
+        with tel.span(
+            "execution", "instantiate-pilots", track=em_track,
+            app=app_name, n_pilots=strategy.n_pilots,
+        ) as sp:
+            descriptions = [
+                ComputePilotDescription(
+                    resource=r,
+                    cores=strategy.pilot_cores,
+                    runtime_min=strategy.pilot_walltime_min,
+                    access_schema=self.access_schemas.get(r, "slurm"),
+                )
+                for r in strategy.resources
+            ]
+            pilots = self.pilot_manager.submit_pilots(descriptions)
+        em_spans.append(sp)
 
-        # Step 5: execute the application on the pilots.
+        # Step 5: execute the application on the pilots. The span stays
+        # open across the yield below: it covers submission through the
+        # last unit turning final.
+        step5 = tel.span(
+            "execution", "execute-units", track=em_track,
+            app=app_name, n_tasks=req.n_tasks,
+        )
+        em_spans.append(step5.__enter__())
         unit_manager = UnitManager(
             self.sim, self.network, scheduler=strategy.unit_scheduler,
             health=self.health,
@@ -511,6 +546,7 @@ class ExecutionManager:
             self.health.add_listener(on_health_event)
 
         yield unit_manager.wait_units(units)
+        step5.__exit__(None, None, None)
         t_end = self.sim.now
 
         if reinforcer is not None:
@@ -549,6 +585,10 @@ class ExecutionManager:
             health_log=health_log,
             replans=list(supervisor.replans) if supervisor else [],
             deadline_expired=supervisor.expired if supervisor else False,
+            telemetry=(
+                tel.execution_summary([s for s in em_spans if s is not None])
+                if tel.enabled else None
+            ),
         )
         self.reports.append(report)
         return report

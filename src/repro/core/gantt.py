@@ -52,8 +52,14 @@ def render_timeline(
     width: int = 64,
     fault_log=None,
     health_log=None,
+    em_steps: Optional[Sequence] = None,
 ) -> str:
-    """Render one execution as an ASCII timeline."""
+    """Render one execution as an ASCII timeline.
+
+    ``em_steps`` is an optional sequence of ``(name, t0, t1)`` rows —
+    the enactment-step spans a telemetry-enabled run records — drawn as
+    one ``=`` bar per step above the pilot rows.
+    """
     if t_end <= t_start:
         raise ValueError("t_end must exceed t_start")
     if width < 8:
@@ -61,6 +67,14 @@ def render_timeline(
     lines = [
         f"t={t_start:.0f}s " + "." * width + f" t={t_end:.0f}s"
     ]
+
+    if em_steps:
+        label_w = len(pilots[0].uid) + 18 if pilots else 20
+        for name, s0, s1 in em_steps:
+            row = _row(width)
+            _mark(row, s0, s1, t_start, t_end, "=")
+            label = f"{f'step {name}':<{label_w}.{label_w}}"
+            lines.append(f"{label} " + "".join(row))
 
     for pilot in pilots:
         row = _row(width)
@@ -150,8 +164,10 @@ def render_report_timeline(report, width: int = 64) -> str:
     ``X`` per enacted fault inside the window).
     """
     d = report.decomposition
+    tel = getattr(report, "telemetry", None)
     return render_timeline(
         report.pilots, report.units, d.t_start, d.t_end, width=width,
         fault_log=getattr(report, "fault_log", None),
         health_log=getattr(report, "health_log", None),
+        em_steps=tel.em_steps if tel is not None else None,
     )

@@ -97,6 +97,10 @@ def report_to_session(report) -> Dict[str, Any]:
             if getattr(report, "health_log", None) is not None else []
         ),
         "deadline_expired": bool(getattr(report, "deadline_expired", False)),
+        "telemetry": (
+            report.telemetry.as_dict()
+            if getattr(report, "telemetry", None) is not None else None
+        ),
         "replans": [
             {
                 "time": r.time,
@@ -146,6 +150,9 @@ class Session:
     health: List[Dict[str, Any]] = field(default_factory=list)
     replans: List[Dict[str, Any]] = field(default_factory=list)
     deadline_expired: bool = False
+    #: telemetry summary dict (n_spans/metrics/digest/em_steps), or None
+    #: for sessions recorded with the hub disabled / by older versions.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ttc(self) -> float:
@@ -183,6 +190,7 @@ def session_from_dict(data: Dict[str, Any]) -> Session:
         health=list(data.get("health", [])),
         replans=list(data.get("replans", [])),
         deadline_expired=bool(data.get("deadline_expired", False)),
+        telemetry=data.get("telemetry"),
     )
 
 

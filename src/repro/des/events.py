@@ -151,7 +151,8 @@ class Tracer:
         event: Optional[str] = None,
     ) -> list[TraceRecord]:
         """Return records matching all provided filters, in time order."""
-        out = []
+        out: list[TraceRecord] = []
+        append = out.append
         for rec in self.records:
             if category is not None and rec.category != category:
                 continue
@@ -159,7 +160,7 @@ class Tracer:
                 continue
             if event is not None and rec.event != event:
                 continue
-            out.append(rec)
+            append(rec)
         return out
 
     def first(self, **kw: Any) -> Optional[TraceRecord]:

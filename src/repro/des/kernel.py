@@ -8,8 +8,10 @@ whole middleware stack advances on a single, deterministic timeline.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..telemetry import TelemetryHub
 from .errors import SchedulingError, SimulationError
 from .events import EventQueue, ScheduledEvent, Tracer
 from .process import AllOf, AnyOf, Process, Signal, Timeout, Waitable
@@ -23,8 +25,19 @@ class Simulation:
         self._queue = EventQueue()
         self._now = float(start_time)
         self._running = False
+        self.events_processed = 0
         self.rng = RngStreams(seed)
         self.trace = Tracer()
+        self.telemetry = TelemetryHub(
+            clock=lambda: self._now, run_id=f"sim-{seed}"
+        )
+        self.telemetry.metrics.gauge("kernel.heap-size", lambda: len(self._queue))
+        self.telemetry.metrics.gauge(
+            "kernel.events-processed", lambda: self.events_processed
+        )
+        self.telemetry.metrics.gauge("kernel.virtual-time", lambda: self._now)
+        self.telemetry.metrics.gauge("rng.draws", lambda: self.rng.draws)
+        self.telemetry.metrics.gauge("rng.streams", lambda: len(self.rng))
 
     # -- clock ---------------------------------------------------------------
 
@@ -75,7 +88,14 @@ class Simulation:
         if ev.time < self._now:
             raise SimulationError("event queue produced an event in the past")
         self._now = ev.time
-        ev.callback(*ev.args)
+        self.events_processed += 1
+        prof = self.telemetry.profiler
+        if prof is None:
+            ev.callback(*ev.args)
+        else:
+            w0 = perf_counter()
+            ev.callback(*ev.args)
+            prof.record(ev.callback, perf_counter() - w0)
         return True
 
     def run(self, until: Optional[float] = None) -> float:

@@ -29,6 +29,10 @@ class RngStreams:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        #: stream fetches, the observable proxy for "how much randomness
+        #: was consumed" reported by the telemetry gauge ``rng.draws``
+        #: (numpy generators do not expose a portable draw count).
+        self.draws = 0
 
     def get(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the generator for ``name``.
@@ -37,6 +41,7 @@ class RngStreams:
         of the name, so the same (seed, name) pair always yields the same
         stream regardless of creation order.
         """
+        self.draws += 1
         gen = self._streams.get(name)
         if gen is None:
             ss = np.random.SeedSequence(
@@ -52,3 +57,6 @@ class RngStreams:
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)

@@ -44,6 +44,7 @@ def build_environment(
     prime: bool = True,
     presets: Optional[Sequence[ResourcePreset]] = None,
     supervision=None,
+    telemetry: bool = False,
 ) -> Environment:
     """Create a fresh, fully wired simulated testbed.
 
@@ -54,9 +55,13 @@ def build_environment(
     scaling studies). ``supervision`` (a
     :class:`~repro.health.SupervisionPolicy`) turns on resource health
     supervision — circuit breakers, the unit watchdog, and the deadline
-    supervisor — on the Execution Manager.
+    supervisor — on the Execution Manager. ``telemetry`` enables the
+    kernel's :class:`~repro.telemetry.TelemetryHub` before any layer is
+    built, so spans/metrics cover the whole environment lifetime.
     """
     sim = Simulation(seed=seed)
+    if telemetry:
+        sim.telemetry.enable()
     network = Network(sim)
     if presets is not None:
         pool = {

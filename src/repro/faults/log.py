@@ -11,10 +11,10 @@ per-manager pilot indices) rather than process-global uids.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
+
+from ..telemetry.digest import canonical_json, sha256_digest
 
 
 @dataclass(frozen=True)
@@ -85,11 +85,11 @@ class FaultLog:
 
     def canonical_json(self) -> str:
         """Canonical rendering: stable key order, exact float repr."""
-        return json.dumps(self.to_list(), sort_keys=True, separators=(",", ":"))
+        return canonical_json(self.to_list())
 
     def digest(self) -> str:
         """SHA-256 of the canonical JSON — equal iff the logs are identical."""
-        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+        return sha256_digest(self.canonical_json())
 
     def summary(self) -> str:
         if not self.events:

@@ -53,6 +53,15 @@ class HealthRegistry:
         self._scores: Dict[str, float] = {}
         self._listeners: List[Callable[[HealthEvent], None]] = []
         self._watch_subs: list = []
+        sim.telemetry.metrics.gauge(
+            "health.quarantined",
+            lambda: sum(
+                1 for brk in self._breakers.values() if brk.is_quarantined
+            ),
+        )
+        sim.telemetry.metrics.gauge(
+            "health.events", lambda: len(self.log)
+        )
 
     # -- breakers ------------------------------------------------------------
 
@@ -203,6 +212,10 @@ class HealthRegistry:
         self.sim.trace.record(
             self.sim.now, "health", target, kind.upper(), **details
         )
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.instant("health", kind, track=f"health/{target}", **details)
+            tel.metrics.counter(f"health.event.{kind}").inc()
         for fn in list(self._listeners):
             fn(ev)
         return ev

@@ -19,8 +19,20 @@ from .states import (
 if TYPE_CHECKING:  # pragma: no cover
     from .agent import Agent
 
-_pilot_ids = itertools.count(1)
-_unit_ids = itertools.count(1)
+def _next_id(sim: Simulation, kind: str) -> int:
+    """Per-simulation entity id allocation.
+
+    Counters live on the simulation (not the module) so two same-seed
+    runs in one process mint identical uids — entity names feed the
+    telemetry digest, which must be byte-stable across replays.
+    """
+    counters = getattr(sim, "_entity_ids", None)
+    if counters is None:
+        counters = sim._entity_ids = {}
+    counter = counters.get(kind)
+    if counter is None:
+        counter = counters[kind] = itertools.count(1)
+    return next(counter)
 
 
 class ComputePilot:
@@ -29,12 +41,16 @@ class ComputePilot:
     def __init__(self, sim: Simulation, description: ComputePilotDescription) -> None:
         self.sim = sim
         self.description = description
-        self.uid = f"pilot.{next(_pilot_ids):04d}"
+        self.uid = f"pilot.{_next_id(sim, 'pilot'):04d}"
         self.state = PilotState.NEW
         self.history = StateHistory()
         self.history.append(self.state.value, sim.now)
         sim.trace.record(
             sim.now, "pilot", self.uid, PilotState.NEW.value,
+            resource=description.resource, cores=description.cores,
+        )
+        sim.telemetry.transition(
+            "pilot", self.uid, PilotState.NEW.value,
             resource=description.resource, cores=description.cores,
         )
         self.agent: Optional["Agent"] = None
@@ -100,6 +116,13 @@ class ComputePilot:
             self.sim.now, "pilot", self.uid, new_state.value,
             resource=self.resource, cores=self.cores,
         )
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.transition(
+                "pilot", self.uid, new_state.value,
+                final=new_state in PILOT_FINAL, resource=self.resource,
+            )
+            tel.metrics.counter(f"pilot.state.{new_state.value}").inc()
         for fn in list(self._callbacks):
             fn(self, new_state)
         if new_state is PilotState.ACTIVE and not self._active.triggered:
@@ -119,13 +142,16 @@ class ComputeUnit:
     def __init__(self, sim: Simulation, description: ComputeUnitDescription) -> None:
         self.sim = sim
         self.description = description
-        self.uid = f"unit.{next(_unit_ids):06d}"
+        self.uid = f"unit.{_next_id(sim, 'unit'):06d}"
         self.state = UnitState.NEW
         self.history = StateHistory()
         self.history.append(self.state.value, sim.now)
         sim.trace.record(
             sim.now, "unit", self.uid, UnitState.NEW.value,
             name=description.name, pilot=None,
+        )
+        sim.telemetry.transition(
+            "unit", self.uid, UnitState.NEW.value, task=description.name,
         )
         self.pilot: Optional[ComputePilot] = None
         self.restarts = 0
@@ -176,6 +202,14 @@ class ComputeUnit:
             name=self.name,
             pilot=self.pilot.uid if self.pilot else None,
         )
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.transition(
+                "unit", self.uid, new_state.value,
+                final=self.is_final,
+                pilot=self.pilot.uid if self.pilot else None,
+            )
+            tel.metrics.counter(f"unit.state.{new_state.value}").inc()
         for fn in list(self._callbacks):
             fn(self, new_state)
         if new_state is UnitState.DONE or new_state is UnitState.CANCELED:

@@ -136,6 +136,9 @@ class PilotManager:
     def _launch(self, desc: ComputePilotDescription) -> ComputePilot:
         pilot = ComputePilot(self.sim, desc)
         self.pilots.append(pilot)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.metrics.counter("pilot.submissions").inc()
         pilot.advance(PilotState.LAUNCHING)
         self._try_submit(pilot, desc, attempt=0)
         return pilot
@@ -184,6 +187,10 @@ class PilotManager:
                     self.sim.now, "pilot", pilot.uid, "SUBMIT-RETRY",
                     resource=desc.resource, attempt=attempt + 1,
                     backoff_s=delay,
+                )
+                self.sim.telemetry.instant(
+                    "pilot", "submit-retry", track=f"pilot-manager/{desc.resource}",
+                    pilot=pilot.uid, attempt=attempt + 1,
                 )
                 self.sim.call_in(delay, self._try_submit, pilot, desc, attempt + 1)
             else:

@@ -59,6 +59,20 @@ class UnitManager:
         #: name -> unmet dependency names.
         self._deps: Dict[str, Set[str]] = {}
         self._reschedule_pending = False
+        metrics = sim.telemetry.metrics
+        metrics.gauge("units.total", lambda: len(self.units))
+        metrics.gauge("units.done", lambda: self.completed_units)
+        metrics.gauge(
+            "units.executing",
+            lambda: sum(
+                1 for u in self.units if u.state is UnitState.EXECUTING
+            ),
+        )
+        metrics.gauge("units.unbound", lambda: len(self._unbound))
+        metrics.gauge(
+            "pilots.active",
+            lambda: sum(1 for p in self.pilots if p.is_active),
+        )
 
     # -- pilots ----------------------------------------------------------------------
 
@@ -171,10 +185,22 @@ class UnitManager:
                 p for p in pilots
                 if not self.health.is_quarantined(p.resource)
             ]
-        assignments = self.scheduler.assign(eligible, pilots)
-        for unit, pilot in assignments:
-            self._unbound.remove(unit)
-            self._bind(unit, pilot)
+        tel = self.sim.telemetry
+        with tel.span(
+            "unit-manager",
+            "binding-pass",
+            track="unit-manager",
+            policy=self.scheduler.name,
+            eligible=len(eligible),
+            pilots=len(pilots),
+        ):
+            assignments = self.scheduler.assign(eligible, pilots)
+            for unit, pilot in assignments:
+                self._unbound.remove(unit)
+                self._bind(unit, pilot)
+        if tel.enabled:
+            tel.metrics.counter("unit-manager.binding-passes").inc()
+            tel.metrics.counter("unit-manager.bindings").inc(len(assignments))
 
     def _bind(self, unit: ComputeUnit, pilot: ComputePilot) -> None:
         unit.pilot = pilot

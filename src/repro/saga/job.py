@@ -114,9 +114,19 @@ class JobService:
 
     def submit(self, description: JobDescription) -> SagaJob:
         """Submit a uniform description through this service's dialect."""
-        job = SagaJob(self.sim, self, description)
-        job.native = self.adaptor.submit(description, job._on_native)
-        self.jobs.append(job)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.metrics.counter("saga.submissions").inc()
+        with tel.span(
+            "saga",
+            "submit",
+            track=f"saga/{self.resource_name}",
+            job=description.name or "saga-job",
+            scheme=self.adaptor.scheme,
+        ):
+            job = SagaJob(self.sim, self, description)
+            job.native = self.adaptor.submit(description, job._on_native)
+            self.jobs.append(job)
         return job
 
     def list_jobs(self) -> List[SagaJob]:

@@ -1,0 +1,60 @@
+"""Unified telemetry: spans, metrics, kernel profiling, and trace export.
+
+The AIMES methodology makes *the execution process itself* measurable:
+every middleware layer is instrumented, and analyses are derived from
+traces rather than ad-hoc counters. This package is the single subsystem
+those instruments report to:
+
+* :mod:`~repro.telemetry.spans` — structured begin/end records carrying
+  both virtual (DES) time and monotonic wall time, nestable via a
+  context-manager API;
+* :mod:`~repro.telemetry.metrics` — a registry of counters, gauges, and
+  histograms, sampled on a configurable virtual-time cadence;
+* :mod:`~repro.telemetry.profiler` — wall-clock attribution per kernel
+  event type, so benchmark regressions become diagnosable;
+* :mod:`~repro.telemetry.exporters` — Chrome trace-event JSON (loadable
+  in Perfetto), OTLP-style JSON spans, and the legacy flat trace dump;
+* :mod:`~repro.telemetry.digest` — the canonical-JSON/SHA-256 contract
+  shared by the fault log, the health-event log, and the telemetry hub,
+  so every record stream is byte-reproducible under a fixed seed.
+
+Every :class:`~repro.des.Simulation` owns a disabled-by-default
+:class:`TelemetryHub` (``sim.telemetry``); enabling it turns the
+instrumentation points across des, cluster, bundle, saga, pilot, core,
+and health into live span/metric emitters.
+
+This package deliberately imports nothing from the rest of :mod:`repro`,
+so every layer (including the DES kernel itself) can depend on it.
+"""
+
+from .digest import canonical_json, sha256_digest
+from .exporters import (
+    chrome_trace,
+    otlp_trace,
+    save_chrome_trace,
+    save_otlp_trace,
+    trace_records_json,
+)
+from .hub import TelemetryHub, TelemetrySummary
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import KernelProfiler
+from .spans import Span, UnclosedSpanError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryHub",
+    "TelemetrySummary",
+    "UnclosedSpanError",
+    "canonical_json",
+    "chrome_trace",
+    "otlp_trace",
+    "save_chrome_trace",
+    "save_otlp_trace",
+    "sha256_digest",
+    "trace_records_json",
+]

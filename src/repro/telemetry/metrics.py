@@ -1,0 +1,165 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Instruments are cheap enough to update from hot paths (a counter
+increment is one integer add), and the registry snapshots them all into
+one deterministic, JSON-stable dict — the shape the virtual-time sampler
+records and the telemetry digest hashes.
+
+* a :class:`Counter` only goes up (events processed, scheduler passes);
+* a :class:`Gauge` reads a live value, either set explicitly or pulled
+  from a callback (heap size, units executing, breakers open);
+* a :class:`Histogram` buckets observations against fixed boundaries
+  with ``value <= boundary`` (Prometheus ``le``) semantics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value: explicitly set, or read through a callback."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], Any]] = None) -> None:
+        self.name = name
+        self._value: Any = None
+        self.fn = fn
+
+    def set(self, value: Any) -> None:
+        self._value = value
+
+    def read(self) -> Any:
+        return self.fn() if self.fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with ``value <= boundary`` buckets.
+
+    ``boundaries`` must be strictly increasing; observations above the
+    last boundary land in the implicit overflow (``+inf``) bucket.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count")
+
+    def __init__(self, name: str, boundaries: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("a histogram needs at least one boundary")
+        if any(b1 <= b0 for b0, b1 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram boundaries must be strictly increasing")
+        self.name = name
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left: a value equal to a boundary belongs to that
+        # boundary's bucket (le semantics).
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        return tuple(self.counts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics and one snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str, fn: Optional[Callable[[], Any]] = None) -> Gauge:
+        """Get or create a gauge; a non-None ``fn`` (re)binds the callback.
+
+        Rebinding matters: each execution builds a fresh UnitManager, and
+        the latest one's view is the one a live gauge should report.
+        """
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            g.fn = fn
+        return g
+
+    def histogram(self, name: str, boundaries: Sequence[float]) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, boundaries)
+        elif tuple(float(b) for b in boundaries) != h.boundaries:
+            raise ValueError(
+                f"histogram {name!r} already exists with different boundaries"
+            )
+        return h
+
+    # -- read-out ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as one deterministic, JSON-stable dict."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.read() for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render_table(self) -> str:
+        """Human-readable summary of every instrument."""
+        lines = [f"{'metric':<38} | {'kind':<9} | value"]
+        lines.append("-" * len(lines[0]))
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"{name:<38} | counter   | {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            value = g.read()
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name:<38} | gauge     | {shown}")
+        for name, h in sorted(self._histograms.items()):
+            mean = h.total / h.count if h.count else 0.0
+            lines.append(
+                f"{name:<38} | histogram | n={h.count} mean={mean:.3g} "
+                f"buckets={list(h.counts)}"
+            )
+        return "\n".join(lines)

@@ -99,6 +99,23 @@ def test_tracer_record_and_query():
     assert t.first(event="MISSING") is None
 
 
+def test_tracer_query_event_filter_fall_through():
+    t = Tracer()
+    t.record(0.0, "pilot", "p1", "NEW")
+    t.record(1.0, "pilot", "p2", "NEW")
+    t.record(2.0, "pilot", "p1", "ACTIVE")
+    t.record(3.0, "unit", "u1", "NEW")
+    # the event filter alone spans categories and entities
+    assert [r.entity for r in t.query(event="NEW")] == ["p1", "p2", "u1"]
+    # all provided filters must hold simultaneously
+    assert [r.time for r in t.query(category="pilot", entity="p1",
+                                    event="ACTIVE")] == [2.0]
+    assert t.query(category="unit", entity="p1") == []
+    assert t.query(category="pilot", event="DONE") == []
+    t.clear()
+    assert t.records == [] and t.query(event="NEW") == []
+
+
 def test_tracer_disable_enable():
     t = Tracer()
     t.disable()

@@ -1,0 +1,36 @@
+"""Kernel profiler attribution on a real simulation."""
+
+from repro.des import Simulation
+
+
+def test_profiler_attributes_all_kernel_wall_time():
+    sim = Simulation(seed=3)
+    prof = sim.telemetry.attach_profiler()
+
+    def proc():
+        for _ in range(5):
+            yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.call_at(7.0, lambda: None)
+    sim.run(until=100.0)
+
+    assert prof.events == sim.events_processed > 0
+    assert prof.attributed_fraction() == 1.0
+    assert prof.attributed_wall() > 0.0
+    assert prof.events_per_sec() > 0.0
+    report = prof.report()
+    assert "attributed" in report and "events" in report
+
+
+def test_profiler_groups_by_callback_and_process():
+    sim = Simulation(seed=3)
+    prof = sim.telemetry.attach_profiler()
+
+    def worker():
+        yield sim.timeout(1.0)
+
+    sim.process(worker())
+    sim.run(until=10.0)
+    assert prof.by_label, "per-callback attribution must not be empty"
+    assert all(count > 0 for count, _ in prof.by_label.values())
