@@ -3,7 +3,9 @@
 The full experiment grid is expensive (dozens of multi-hour simulations),
 so it runs once per pytest session and every figure bench reads from it.
 ``REPRO_BENCH_REPS`` scales the repetition count (default 4; the paper
-effectively used dozens per cell over a year).
+effectively used dozens per cell over a year) and ``REPRO_BENCH_JOBS``
+fans the grid across worker processes (default 1; results are identical
+at any job count).
 """
 
 import os
@@ -17,4 +19,5 @@ from repro.experiments import run_campaign
 def campaign():
     reps = int(os.environ.get("REPRO_BENCH_REPS", "4"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
-    return run_campaign(reps=reps, campaign_seed=seed)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return run_campaign(reps=reps, campaign_seed=seed, jobs=jobs)

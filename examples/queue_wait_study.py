@@ -9,11 +9,36 @@ Exercises all three bundle interfaces on a live testbed:
 * the *monitoring* interface (a threshold subscription that fires when
   a resource's queue backs up).
 
+The closing section replays the probe measurement on several
+independently-seeded testbeds at once with ``parallel_map`` — each
+replica is its own simulation, so the fan-out cannot perturb any
+result, and on a single-CPU machine it quietly runs as an in-process
+loop instead.
+
 Run:  python examples/queue_wait_study.py
 """
 
-from repro.experiments import build_environment
+import math
+import os
+
+from repro.experiments import build_environment, parallel_map
 from repro.pilot import ComputePilotDescription, PilotManager
+
+
+def probe_replica(seed):
+    """Measure 128-core probe waits on a fresh seed-`seed` testbed."""
+    env = build_environment(seed=seed)
+    env.warm_up(8 * 3600)
+    clusters = {n: env.bundle.cluster(n) for n in env.bundle.resources()}
+    pm = PilotManager(env.sim, clusters)
+    probes = {}
+    for name in env.bundle.resources():
+        (pilot,) = pm.submit_pilots(
+            ComputePilotDescription(resource=name, cores=128, runtime_min=60)
+        )
+        probes[name] = pilot
+    env.sim.run(until=env.sim.now + 24 * 3600)
+    return {name: p.queue_wait for name, p in probes.items()}
 
 
 def main() -> None:
@@ -79,6 +104,31 @@ def main() -> None:
     print(f"\nCongestion alerts fired: {len(alerts)}")
     for t, name, qlen in alerts[:5]:
         print(f"  t={t / 3600:.1f}h {name}: queue length {qlen}")
+
+    # Replicate the probe measurement on independent testbeds, one
+    # worker process per seed (serial fallback on a single CPU).
+    seeds = [101, 202, 303, 404]
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    jobs = min(len(seeds), cpus)
+    mode = f"{jobs} workers" if jobs > 1 else "serially (1 CPU)"
+    print(f"\nProbe waits across {len(seeds)} independent testbeds ({mode}):")
+    replicas = parallel_map(probe_replica, seeds, jobs=jobs)
+    header = f"{'resource':>16} | {'min':>8} | {'mean':>8} | {'max':>8}"
+    print(header)
+    print("-" * len(header))
+    for name in bundle.resources():
+        waits = [r[name] for r in replicas if r[name] is not None]
+        if not waits:
+            print(f"{name:>16} |   (all probes still queued)")
+            continue
+        mean = math.fsum(waits) / len(waits)
+        print(
+            f"{name:>16} | {min(waits):>7.0f}s | {mean:>7.0f}s | "
+            f"{max(waits):>7.0f}s"
+        )
 
     # Telemetry: everything the run just did, as one metrics table.
     print("\nTelemetry metrics after the study:")

@@ -73,13 +73,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         reps=args.reps,
         campaign_seed=args.seed,
         verbose=not args.quiet,
+        jobs=args.jobs,
+        collect_digests=args.digests,
     )
+    for err in result.errors:
+        print(
+            f"error: exp {err.exp_id} n={err.n_tasks} rep={err.rep}: "
+            f"{err.error}",
+            file=sys.stderr,
+        )
     if args.output:
         save_campaign(result, args.output)
         print(f"saved {len(result.runs)} runs to {args.output}")
     else:
         print(render_all(result))
-    return 0
+    return 0 if not result.errors else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -103,16 +111,20 @@ _ABLATIONS = {
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     if args.study == "waits":
-        print(emergent_vs_sampled_study(n_pairs=max(4, args.reps * 3)).render())
+        print(
+            emergent_vs_sampled_study(
+                n_pairs=max(4, args.reps * 3), jobs=args.jobs
+            ).render()
+        )
         return 0
     fn, title = _ABLATIONS[args.study]
-    points = fn(reps=args.reps)
+    points = fn(reps=args.reps, jobs=args.jobs)
     print(render_ablation(f"Ablation — {title}", points))
     return 0
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
-    results = calibrate_all(seed=args.seed, hours=args.hours)
+    results = calibrate_all(seed=args.seed, hours=args.hours, jobs=args.jobs)
     print(render_calibration(results))
     return 0
 
@@ -285,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None,
                    help="save results to this JSON file")
     p.add_argument("-q", "--quiet", action="store_true")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for the repetition grid "
+                        "(0 = one per usable CPU; default: 1, serial). "
+                        "Results are identical to a serial run.")
+    p.add_argument("--digests", action="store_true",
+                   help="record a telemetry/fault/health digest per "
+                        "repetition (used to cross-check serial vs "
+                        "parallel execution)")
 
     p = sub.add_parser("figures", help="render figures from a saved campaign")
     p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
@@ -292,10 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ablation", help="run one ablation study")
     p.add_argument("study", choices=sorted(list(_ABLATIONS) + ["waits"]))
     p.add_argument("--reps", type=int, default=4)
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (0 = one per usable CPU)")
 
     p = sub.add_parser("calibrate", help="validate the substrate calibration")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--hours", type=float, default=24.0)
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (0 = one per usable CPU)")
 
     p = sub.add_parser("probe", help="probe queue waits with pilot jobs")
     p.add_argument("--resources", nargs="*", default=None,

@@ -137,6 +137,7 @@ class Cluster:
         """Remove a pending job or kill a running one."""
         if job.state is JobState.PENDING:
             self._pending.remove(job)
+            self._arrival_order.pop(job.uid, None)
             self._transition(job, JobState.CANCELLED)
         elif job.state is JobState.RUNNING:
             _, _, end_event = self._running.pop(job.uid)
@@ -158,6 +159,7 @@ class Cluster:
         """
         if job.state is JobState.PENDING:
             self._pending.remove(job)
+            self._arrival_order.pop(job.uid, None)
             self._transition(job, JobState.FAILED)
         elif job.state is JobState.RUNNING:
             _, _, end_event = self._running.pop(job.uid)
@@ -221,19 +223,24 @@ class Cluster:
         job.submit_time = self.sim.now
         self._arrival_order[job.uid] = self._arrival_seq
         self._arrival_seq += 1
+        # Appending keeps the FIFO queue sorted by construction (removals
+        # preserve relative order), so plain arrival-ordered queues never
+        # sort. Priority queues re-sort at dispatch time anyway, because
+        # their keys are time-dependent — sorting here too would be wasted.
         self._pending.append(job)
-        self._sort_pending()
         self._transition(job, JobState.PENDING)
         self._schedule_dispatch()
 
     def _sort_pending(self) -> None:
-        if self.priority_fn is None:
-            self._pending.sort(key=lambda j: self._arrival_order[j.uid])
-        else:
-            now = self.sim.now
-            self._pending.sort(
-                key=lambda j: (-self.priority_fn(j, now), self._arrival_order[j.uid])
-            )
+        """Order the queue by the (time-dependent) priority function.
+
+        Only called from :meth:`_dispatch` when ``priority_fn`` is set;
+        FIFO queues are kept in arrival order incrementally.
+        """
+        now = self.sim.now
+        fn = self.priority_fn
+        order = self._arrival_order
+        self._pending.sort(key=lambda j: (-fn(j, now), order[j.uid]))
 
     def _schedule_dispatch(self) -> None:
         """Coalesce dispatches: one scheduler pass per cycle at most."""
@@ -257,10 +264,10 @@ class Cluster:
             free_cores=self.pool.free_cores,
             total_cores=self.pool.total_cores,
             pending=tuple(self._pending),
-            running=tuple(
+            running=[
                 (job, expected_end)
                 for job, expected_end, _ in self._running.values()
-            ),
+            ],
         )
         tel = self.sim.telemetry
         with tel.span(
@@ -290,6 +297,7 @@ class Cluster:
         if job not in self._pending:
             raise RuntimeError(f"scheduler picked non-pending job {job.name}")
         self._pending.remove(job)
+        self._arrival_order.pop(job.uid, None)
         self.pool.allocate(job.uid, job.cores)
         job.start_time = self.sim.now
         duration = min(job.runtime, job.walltime)

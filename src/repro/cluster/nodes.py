@@ -68,13 +68,32 @@ class NodePool:
             raise AllocationError(
                 f"cannot allocate {cores} cores; only {self.free_cores} free"
             )
+        free = self._free
+        if cores == 1:
+            # Single-core tasks dominate the paper's workloads; one linear
+            # scan replaces the full sort. Picks the same node the stable
+            # sort below would: minimal free count, lowest index on ties.
+            best = -1
+            best_free = self.cores_per_node + 1
+            for i in range(self.nodes):
+                f = free[i]
+                if 0 < f < best_free:
+                    best = i
+                    best_free = f
+                    if f == 1:
+                        break
+            free[best] -= 1
+            placement = [(best, 1)]
+            self._allocations[key] = placement
+            self.free_cores -= 1
+            return placement
         remaining = cores
-        placement: List[Tuple[int, int]] = []
-        # Fullest-first among nodes with any free cores.
-        order = sorted(
-            (i for i in range(self.nodes) if self._free[i] > 0),
-            key=lambda i: self._free[i],
-        )
+        placement = []
+        # Fullest-first among nodes with any free cores; tuple sort breaks
+        # ties by node index, matching the stable keyed sort it replaces.
+        order = [i for _, i in sorted(
+            (free[i], i) for i in range(self.nodes) if free[i] > 0
+        )]
         for i in order:
             if remaining == 0:
                 break

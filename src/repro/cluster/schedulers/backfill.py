@@ -27,24 +27,28 @@ class EasyBackfillScheduler(BatchScheduler):
     def select(self, view: SchedulerView) -> List[BatchJob]:
         picks: List[BatchJob] = []
         free = view.free_cores
-        pending = list(view.pending)
+        pending = view.pending
 
-        # Phase 1: plain FCFS while the head fits.
-        while pending and pending[0].cores <= free:
-            job = pending.pop(0)
+        # Phase 1: plain FCFS while the head fits (index walk — popping
+        # the head of a long queue repeatedly is quadratic).
+        head = 0
+        n = len(pending)
+        while head < n and pending[head].cores <= free:
+            job = pending[head]
             picks.append(job)
             free -= job.cores
-        if not pending:
+            head += 1
+        if head == n:
             return picks
 
         # Phase 2: reservation for the (blocked) head.
         running: List[Tuple[BatchJob, float]] = list(view.running) + [
             (p, view.now + p.walltime) for p in picks
         ]
-        shadow, extra = shadow_schedule(pending[0].cores, free, running)
+        shadow, extra = shadow_schedule(pending[head].cores, free, running)
 
         # Phase 3: backfill later jobs against the reservation.
-        for job in pending[1:]:
+        for job in pending[head + 1:]:
             if job.cores > free:
                 continue
             ends_before_shadow = view.now + job.walltime <= shadow

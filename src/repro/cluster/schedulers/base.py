@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Callable, List, Sequence, Tuple
 
 from ..job import BatchJob
@@ -87,7 +88,7 @@ def shadow_schedule(
     if head_cores <= free_cores:
         return float("-inf"), free_cores - head_cores
     available = free_cores
-    ends = sorted(running, key=lambda pair: pair[1])
+    ends = sorted(running, key=itemgetter(1))
     for job, expected_end in ends:
         available += job.cores
         if available >= head_cores:

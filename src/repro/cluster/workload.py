@@ -137,6 +137,10 @@ class BackgroundWorkload:
         )
         self.submitted = 0
         self._stopped = False
+        # Pre-converted sampling arrays: make_job runs thousands of times
+        # per repetition and the list→ndarray conversion dominated it.
+        self._core_choices = np.asarray(profile.core_choices)
+        self._core_weights = np.asarray(profile.core_weights)
         # Arrival rate so that E[cores * runtime] * lambda = load * capacity.
         work_per_job = profile.mean_cores * profile.mean_runtime
         self.base_rate = (
@@ -149,7 +153,7 @@ class BackgroundWorkload:
         """Sample one background job from the profile."""
         p = self.profile
         cores = int(
-            self.rng.choice(np.asarray(p.core_choices), p=np.asarray(p.core_weights))
+            self.rng.choice(self._core_choices, p=self._core_weights)
         )
         cores = min(cores, self.cluster.total_cores)
         runtime = float(

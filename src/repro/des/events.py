@@ -8,52 +8,106 @@ exact same event order.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from .errors import SchedulingError
 
-#: Sentinel callback used for cancelled events still sitting in the heap.
+#: Sentinel callback used for cancelled/fired events still holding a slot.
 _CANCELLED: Callable[..., None] = lambda *a, **k: None  # noqa: E731
 
+#: Heaps smaller than this are never compacted: draining the few dead
+#: entries on pop is cheaper than rebuilding the heap.
+_COMPACT_MIN = 64
 
-@dataclass(order=True)
+
 class ScheduledEvent:
     """A callback scheduled at a simulated time.
 
-    Ordering is by ``(time, priority, seq)``; ``callback`` and ``args`` are
-    excluded from comparisons.
+    Ordering is by ``(time, priority, seq)``; ``callback`` and ``args``
+    take no part in comparisons. Hand-rolled (slots plus a direct
+    ``__lt__``) rather than a dataclass: heap sifts compare events
+    hundreds of thousands of times per campaign repetition, and the
+    generated tuple-building comparison dominated that profile.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled", "fired",
+    )
 
-    #: set to True when cancelled; the kernel skips cancelled entries lazily.
-    cancelled: bool = field(compare=False, default=False)
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        #: True once cancelled; the kernel skips cancelled entries lazily.
+        self.cancelled = False
+        #: True once popped for dispatch; cancelling after that is a no-op.
+        self.fired = False
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "cancelled" if self.cancelled
+            else "fired" if self.fired
+            else "pending"
+        )
+        return (
+            f"<ScheduledEvent t={self.time} priority={self.priority} "
+            f"seq={self.seq} {state}>"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the kernel will skip it.
 
-        Cancelling an already-fired event is a no-op: the kernel clears the
-        callback reference after dispatch, and we only flip a flag here.
+        Cancelling an already-fired event is a no-op: the kernel releases
+        the callback reference after dispatch, and we only flip a flag here.
         """
+        if self.fired:
+            return
         self.cancelled = True
+        self.callback = _CANCELLED
+        self.args = ()
+
+    def release(self) -> None:
+        """Drop callback/args references after dispatch (memory hygiene)."""
         self.callback = _CANCELLED
         self.args = ()
 
 
 class EventQueue:
-    """Deterministic priority queue of :class:`ScheduledEvent` records."""
+    """Deterministic priority queue of :class:`ScheduledEvent` records.
+
+    Cancellation is lazy — dead entries keep their heap slot until they
+    surface — but bounded: whenever cancelled entries outnumber live
+    ones the heap is compacted, so a workload that schedules and cancels
+    aggressively (watchdogs, outages, link churn) cannot retain an
+    unbounded tail of dead events. Compaction cannot change pop order
+    because event ordering is a strict total order on
+    ``(time, priority, seq)``.
+    """
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._live = 0
+        self._cancelled = 0  # dead entries still occupying heap slots
 
     def __len__(self) -> int:
         return self._live
@@ -72,34 +126,60 @@ class EventQueue:
         if time != time:  # NaN guard
             raise SchedulingError("event time is NaN")
         ev = ScheduledEvent(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, ev)
+        heappush(self._heap, ev)
         self._live += 1
         return ev
 
     def cancel(self, event: ScheduledEvent) -> None:
-        """Lazily cancel ``event``; it stays in the heap but will be skipped."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Lazily cancel ``event``; it stays in the heap but will be skipped.
+
+        Cancelling an already-cancelled or already-fired event is a no-op.
+        """
+        if event.cancelled or event.fired:
+            return
+        event.cancel()
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > self._live and len(self._heap) >= _COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead entries (O(live), order-preserving)."""
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapify(self._heap)
+        self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event, or None if empty."""
-        self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heappop(heap)
+            self._cancelled -= 1
+        return heap[0].time if heap else None
 
     def pop(self) -> ScheduledEvent:
         """Remove and return the next live event."""
-        self._drop_cancelled()
-        if not self._heap:
+        ev = self.pop_until(float("inf"))
+        if ev is None:
             raise IndexError("pop from empty EventQueue")
-        ev = heapq.heappop(self._heap)
-        self._live -= 1
         return ev
 
-    def _drop_cancelled(self) -> None:
+    def pop_until(self, limit: float) -> Optional[ScheduledEvent]:
+        """Pop the next live event with ``time <= limit``, or None.
+
+        The kernel's run loop uses this to merge the peek and the pop
+        into a single pass over the heap head.
+        """
         heap = self._heap
         while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+            heappop(heap)
+            self._cancelled -= 1
+        if not heap or heap[0].time > limit:
+            return None
+        ev = heappop(heap)
+        ev.fired = True
+        self._live -= 1
+        return ev
 
 
 @dataclass

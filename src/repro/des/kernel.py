@@ -82,20 +82,22 @@ class Simulation:
 
     def step(self) -> bool:
         """Dispatch the next event. Returns False if the queue is empty."""
-        if not self._queue:
+        ev = self._queue.pop_until(float("inf"))
+        if ev is None:
             return False
-        ev = self._queue.pop()
         if ev.time < self._now:
             raise SimulationError("event queue produced an event in the past")
         self._now = ev.time
         self.events_processed += 1
         prof = self.telemetry.profiler
+        callback = ev.callback
         if prof is None:
-            ev.callback(*ev.args)
+            callback(*ev.args)
         else:
             w0 = perf_counter()
-            ev.callback(*ev.args)
-            prof.record(ev.callback, perf_counter() - w0)
+            callback(*ev.args)
+            prof.record(callback, perf_counter() - w0)
+        ev.release()
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -106,21 +108,42 @@ class Simulation:
         """
         if self._running:
             raise SimulationError("run() is not re-entrant")
+        if until is not None and until < self._now:
+            raise SchedulingError(
+                f"cannot run until {until} < now ({self._now})"
+            )
         self._running = True
+        # The dispatch loop is the hottest path in the system: campaign
+        # repetitions pump tens of thousands of events through it, so it
+        # inlines step() with the queue/telemetry lookups hoisted. The
+        # profiler is re-read each event (it can be attached mid-run);
+        # when absent, dispatch is two attribute loads plus the call.
+        limit = float("inf") if until is None else until
+        queue = self._queue
+        pop_until = queue.pop_until
+        telemetry = self.telemetry
         try:
-            if until is None:
-                while self.step():
-                    pass
-            else:
-                if until < self._now:
-                    raise SchedulingError(
-                        f"cannot run until {until} < now ({self._now})"
+            while True:
+                ev = pop_until(limit)
+                if ev is None:
+                    break
+                time = ev.time
+                if time < self._now:
+                    raise SimulationError(
+                        "event queue produced an event in the past"
                     )
-                while True:
-                    t = self._queue.peek_time()
-                    if t is None or t > until:
-                        break
-                    self.step()
+                self._now = time
+                self.events_processed += 1
+                prof = telemetry.profiler
+                callback = ev.callback
+                if prof is None:
+                    callback(*ev.args)
+                else:
+                    w0 = perf_counter()
+                    callback(*ev.args)
+                    prof.record(callback, perf_counter() - w0)
+                ev.release()
+            if until is not None:
                 self._now = until
         finally:
             self._running = False
@@ -128,16 +151,37 @@ class Simulation:
 
     def run_process(self, process: "Process", until: Optional[float] = None) -> Any:
         """Run until ``process`` completes; return its value or raise its error."""
+        # Same inlined dispatch as run(); the extra per-event work is only
+        # the ``triggered`` check and the optional deadline comparison.
+        inf = float("inf")
+        pop_until = self._queue.pop_until
+        telemetry = self.telemetry
         while not process.triggered:
             if until is not None and self._now >= until:
                 raise SimulationError(
                     f"process {process.name!r} did not finish by t={until}"
                 )
-            if not self.step():
+            ev = pop_until(inf)
+            if ev is None:
                 raise SimulationError(
                     f"deadlock: event queue empty but process {process.name!r} "
                     "has not finished"
                 )
+            if ev.time < self._now:
+                raise SimulationError(
+                    "event queue produced an event in the past"
+                )
+            self._now = ev.time
+            self.events_processed += 1
+            prof = telemetry.profiler
+            callback = ev.callback
+            if prof is None:
+                callback(*ev.args)
+            else:
+                w0 = perf_counter()
+                callback(*ev.args)
+                prof.record(callback, perf_counter() - w0)
+            ev.release()
         if process.ok:
             return process.value
         raise process.exception  # type: ignore[misc]

@@ -11,10 +11,17 @@ the Execution Strategy abstraction exposes:
 * :func:`heterogeneity_ablation` — diverse resource pool vs a pool of
   clones of a single preset (the paper's "relation with resource
   homogeneity" future work).
+
+Every study takes ``jobs=``: samples are seeded per (configuration,
+repetition) item up front, so fanning them out over worker processes via
+:func:`~repro.experiments.runner.parallel_map` returns exactly the
+serial results, in the same order. The per-study ``_sample_*`` functions
+are module-level so they pickle.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -25,6 +32,7 @@ from ..core import Binding, PlannerConfig
 from ..skeleton import SkeletonAPI, bag_of_tasks, paper_skeleton
 from ..skeleton.distributions import Uniform
 from .environment import build_environment
+from .runner import parallel_map
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,12 @@ def _run_once(
     return report.ttc, report.decomposition.tw
 
 
+def _sample_run_once(item) -> Tuple[float, float]:
+    """:func:`parallel_map` adapter: one packed :func:`_run_once` call."""
+    args, kwargs = item
+    return _run_once(*args, **kwargs)
+
+
 def _aggregate(
     label: str,
     samples: List[Tuple[float, float]],
@@ -107,48 +121,55 @@ def pilot_count_sweep(
     pilot_counts: Sequence[int] = (1, 2, 3, 4, 5),
     reps: int = 5,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """TTC/Tw vs the number of pilots, late binding + backfill.
 
     (One pilot with late binding degenerates to early-binding behaviour
     but keeps the scheduler fixed, isolating the multi-resource effect.)
     """
-    out = []
-    for k in pilot_counts:
-        samples = [
-            _run_once(
-                seed * 10_000 + k * 100 + rep, n_tasks,
-                Binding.LATE, "backfill", k,
-            )
-            for rep in range(reps)
-        ]
-        out.append(_aggregate(f"{k} pilot(s)", samples))
-    return out
+    pilot_counts = list(pilot_counts)
+    items = [
+        ((seed * 10_000 + k * 100 + rep, n_tasks,
+          Binding.LATE, "backfill", k), {})
+        for k in pilot_counts
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_run_once, items, jobs=jobs)
+    return [
+        _aggregate(f"{k} pilot(s)", samples[i * reps:(i + 1) * reps])
+        for i, k in enumerate(pilot_counts)
+    ]
 
 
 def scheduler_ablation(
     n_tasks: int = 256,
     reps: int = 5,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """Backfill vs round-robin unit scheduling under late binding."""
-    out = []
-    for scheduler in ("backfill", "round-robin"):
-        samples = [
-            _run_once(
-                seed * 10_000 + hash(scheduler) % 97 * 100 + rep,
-                n_tasks, Binding.LATE, scheduler, 3,
-            )
-            for rep in range(reps)
-        ]
-        out.append(_aggregate(scheduler, samples))
-    return out
+    schedulers = ("backfill", "round-robin")
+    # zlib.crc32, not hash(): str hashes are salted per process, which
+    # would give every invocation (and every worker) different seeds.
+    items = [
+        ((seed * 10_000 + zlib.crc32(scheduler.encode()) % 97 * 100 + rep,
+          n_tasks, Binding.LATE, scheduler, 3), {})
+        for scheduler in schedulers
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_run_once, items, jobs=jobs)
+    return [
+        _aggregate(scheduler, samples[i * reps:(i + 1) * reps])
+        for i, scheduler in enumerate(schedulers)
+    ]
 
 
 def heterogeneity_ablation(
     n_tasks: int = 256,
     reps: int = 5,
     seed: int = 2,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """Diverse five-resource pool vs three mid-size clones.
 
@@ -156,22 +177,44 @@ def heterogeneity_ablation(
     (comet-sim alone), so all pilots sample statistically identical
     queues; the diverse pool mixes the five presets.
     """
-    out = []
-    samples = [
-        _run_once(seed * 10_000 + rep, n_tasks, Binding.LATE, "backfill", 3)
+    items = [
+        ((seed * 10_000 + rep, n_tasks, Binding.LATE, "backfill", 3), {})
         for rep in range(reps)
     ]
-    out.append(_aggregate("diverse pool (5 presets)", samples))
-    clones = ("comet-sim",)
-    samples = [
-        _run_once(
-            seed * 10_000 + 500 + rep, n_tasks, Binding.LATE, "backfill", 1,
-            resource_pool=clones,
-        )
+    items += [
+        ((seed * 10_000 + 500 + rep, n_tasks, Binding.LATE, "backfill", 1),
+         {"resource_pool": ("comet-sim",)})
         for rep in range(reps)
     ]
-    out.append(_aggregate("homogeneous (single busy resource)", samples))
-    return out
+    samples = parallel_map(_sample_run_once, items, jobs=jobs)
+    return [
+        _aggregate("diverse pool (5 presets)", samples[:reps]),
+        _aggregate("homogeneous (single busy resource)", samples[reps:]),
+    ]
+
+
+def _sample_data_affinity(item) -> Tuple[float, float]:
+    seed, rep, mode, n_tasks, input_mb = item
+    ss = np.random.SeedSequence(entropy=seed * 1000 + rep)
+    s = ss.generate_state(3)
+    rng = np.random.default_rng(s[0])
+    env = build_environment(seed=int(s[1]))
+    env.warm_up(float(rng.uniform(2 * 3600.0, 8 * 3600.0)))
+    skeleton = SkeletonAPI(
+        bag_of_tasks(
+            n_tasks, task_duration=900.0,
+            input_size=input_mb * 1e6, output_size=2_000.0,
+        ),
+        seed=int(s[2]),
+    )
+    report = env.execution_manager.execute(
+        skeleton,
+        PlannerConfig(
+            binding=Binding.LATE, unit_scheduler="backfill",
+            n_pilots=2, optimize=mode,
+        ),
+    )
+    return (report.ttc, report.decomposition.ts)
 
 
 def data_affinity_ablation(
@@ -179,6 +222,7 @@ def data_affinity_ablation(
     input_mb: float = 50.0,
     reps: int = 4,
     seed: int = 5,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """TTC-optimized vs data-aware resource selection on big-file tasks.
 
@@ -188,38 +232,27 @@ def data_affinity_ablation(
     fat-pipe resources. This probes the paper's planned data-intensive
     execution strategies.
     """
-    out = []
-    for mode in ("ttc", "data"):
-        samples: List[Tuple[float, float]] = []
-        for rep in range(reps):
-            ss = np.random.SeedSequence(entropy=seed * 1000 + rep)
-            s = ss.generate_state(3)
-            rng = np.random.default_rng(s[0])
-            env = build_environment(seed=int(s[1]))
-            env.warm_up(float(rng.uniform(2 * 3600.0, 8 * 3600.0)))
-            skeleton = SkeletonAPI(
-                bag_of_tasks(
-                    n_tasks, task_duration=900.0,
-                    input_size=input_mb * 1e6, output_size=2_000.0,
-                ),
-                seed=int(s[2]),
-            )
-            report = env.execution_manager.execute(
-                skeleton,
-                PlannerConfig(
-                    binding=Binding.LATE, unit_scheduler="backfill",
-                    n_pilots=2, optimize=mode,
-                ),
-            )
-            samples.append((report.ttc, report.decomposition.ts))
-        out.append(_aggregate(f"optimize={mode}", samples, aux_name="Ts"))
-    return out
+    modes = ("ttc", "data")
+    items = [
+        (seed, rep, mode, n_tasks, input_mb)
+        for mode in modes
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_data_affinity, items, jobs=jobs)
+    return [
+        _aggregate(
+            f"optimize={mode}", samples[i * reps:(i + 1) * reps],
+            aux_name="Ts",
+        )
+        for i, mode in enumerate(modes)
+    ]
 
 
 def binding_rationale_study(
     n_tasks: int = 128,
     reps: int = 4,
     seed: int = 9,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """Measure the combinations Table I *discards* (paper §IV.A).
 
@@ -231,29 +264,58 @@ def binding_rationale_study(
     should never beat late binding and should inherit early binding's
     variance.
     """
-    out = []
-    for label, binding, scheduler, k in (
+    arms = (
         ("early, 1 pilot (Table I row 1)", Binding.EARLY, "direct", 1),
         ("early, 3 pilots (discarded)", Binding.EARLY, "direct", 3),
         ("late, 3 pilots (Table I row 3)", Binding.LATE, "backfill", 3),
-    ):
-        samples: List[Tuple[float, float]] = []
-        for rep in range(reps):
-            # Same (seed, rep) across arms: paired comparison on the same
-            # testbeds, differing only in the strategy.
-            samples.append(
-                _run_once(
-                    seed * 10_000 + rep, n_tasks, binding, scheduler, k,
-                )
-            )
-        out.append(_aggregate(label, samples))
-    return out
+    )
+    # Same (seed, rep) across arms: paired comparison on the same
+    # testbeds, differing only in the strategy.
+    items = [
+        ((seed * 10_000 + rep, n_tasks, binding, scheduler, k), {})
+        for _, binding, scheduler, k in arms
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_run_once, items, jobs=jobs)
+    return [
+        _aggregate(label, samples[i * reps:(i + 1) * reps])
+        for i, (label, _, _, _) in enumerate(arms)
+    ]
+
+
+def _sample_nonuniform(item) -> Tuple[float, float]:
+    seed, k, rep, n_tasks, binding, scheduler = item
+    ss = np.random.SeedSequence(entropy=seed * 1000 + k * 10 + rep)
+    s = ss.generate_state(3)
+    rng = np.random.default_rng(s[0])
+    env = build_environment(seed=int(s[1]))
+    env.warm_up(float(rng.uniform(2 * 3600.0, 10 * 3600.0)))
+    chosen = tuple(
+        rng.choice(list(env.pool), size=k, replace=False)
+    )
+    skeleton = SkeletonAPI(
+        bag_of_tasks(
+            n_tasks,
+            task_duration="gauss(900, 300, 60, 1800)",
+            cores_per_task=Uniform(1.0, 16.0),
+        ),
+        seed=int(s[2]),
+    )
+    report = env.execution_manager.execute(
+        skeleton,
+        PlannerConfig(
+            binding=binding, unit_scheduler=scheduler,
+            n_pilots=k, resources=chosen,
+        ),
+    )
+    return (report.ttc, report.decomposition.tw)
 
 
 def nonuniform_tasks_study(
     n_tasks: int = 128,
     reps: int = 4,
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """Early vs late binding on a mix of 1-16-core tasks (paper §V).
 
@@ -262,39 +324,43 @@ def nonuniform_tasks_study(
     cores, so strategy differences can shift relative to the single-core
     baseline; this study measures both strategies on the mixed workload.
     """
-    out = []
-    for label, binding, scheduler, k in (
+    arms = (
         ("early 1 pilot (mixed cores)", Binding.EARLY, "direct", 1),
         ("late 3 pilots (mixed cores)", Binding.LATE, "backfill", 3),
-    ):
-        samples: List[Tuple[float, float]] = []
-        for rep in range(reps):
-            ss = np.random.SeedSequence(entropy=seed * 1000 + k * 10 + rep)
-            s = ss.generate_state(3)
-            rng = np.random.default_rng(s[0])
-            env = build_environment(seed=int(s[1]))
-            env.warm_up(float(rng.uniform(2 * 3600.0, 10 * 3600.0)))
-            chosen = tuple(
-                rng.choice(list(env.pool), size=k, replace=False)
-            )
-            skeleton = SkeletonAPI(
-                bag_of_tasks(
-                    n_tasks,
-                    task_duration="gauss(900, 300, 60, 1800)",
-                    cores_per_task=Uniform(1.0, 16.0),
-                ),
-                seed=int(s[2]),
-            )
-            report = env.execution_manager.execute(
-                skeleton,
-                PlannerConfig(
-                    binding=binding, unit_scheduler=scheduler,
-                    n_pilots=k, resources=chosen,
-                ),
-            )
-            samples.append((report.ttc, report.decomposition.tw))
-        out.append(_aggregate(label, samples))
-    return out
+    )
+    items = [
+        (seed, k, rep, n_tasks, binding, scheduler)
+        for _, binding, scheduler, k in arms
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_nonuniform, items, jobs=jobs)
+    return [
+        _aggregate(label, samples[i * reps:(i + 1) * reps])
+        for i, (label, _, _, _) in enumerate(arms)
+    ]
+
+
+def _sample_pool_scaling(item) -> Tuple[float, float]:
+    presets, seed, k, rep, n_tasks = item
+    ss = np.random.SeedSequence(entropy=seed * 1000 + k * 10 + rep)
+    s = ss.generate_state(3)
+    rng = np.random.default_rng(s[0])
+    env = build_environment(seed=int(s[1]), presets=presets)
+    env.warm_up(float(rng.uniform(2 * 3600.0, 8 * 3600.0)))
+    chosen = tuple(
+        rng.choice(list(env.pool), size=k, replace=False)
+    )
+    skeleton = SkeletonAPI(
+        bag_of_tasks(n_tasks, task_duration=900.0), seed=int(s[2])
+    )
+    report = env.execution_manager.execute(
+        skeleton,
+        PlannerConfig(
+            binding=Binding.LATE, unit_scheduler="backfill",
+            n_pilots=k, resources=chosen,
+        ),
+    )
+    return (report.ttc, report.decomposition.tw)
 
 
 def pool_scaling_study(
@@ -303,6 +369,7 @@ def pool_scaling_study(
     pilot_counts: Sequence[int] = (1, 3, 5, 9, 17),
     reps: int = 3,
     seed: int = 3,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """TTC/Tw vs pilots drawn from a 17-resource synthetic pool (§V).
 
@@ -310,34 +377,51 @@ def pool_scaling_study(
     synthetic heterogeneous pool of that size hosts late-binding
     executions with increasing pilot counts.
     """
-    presets = synthetic_pool(pool_size, seed=seed)
-    out = []
-    for k in pilot_counts:
-        if k > pool_size:
-            continue
-        samples: List[Tuple[float, float]] = []
-        for rep in range(reps):
-            ss = np.random.SeedSequence(entropy=seed * 1000 + k * 10 + rep)
-            s = ss.generate_state(3)
-            rng = np.random.default_rng(s[0])
-            env = build_environment(seed=int(s[1]), presets=presets)
-            env.warm_up(float(rng.uniform(2 * 3600.0, 8 * 3600.0)))
-            chosen = tuple(
-                rng.choice(list(env.pool), size=k, replace=False)
-            )
-            skeleton = SkeletonAPI(
-                bag_of_tasks(n_tasks, task_duration=900.0), seed=int(s[2])
-            )
-            report = env.execution_manager.execute(
-                skeleton,
-                PlannerConfig(
-                    binding=Binding.LATE, unit_scheduler="backfill",
-                    n_pilots=k, resources=chosen,
-                ),
-            )
-            samples.append((report.ttc, report.decomposition.tw))
-        out.append(_aggregate(f"{k}/{pool_size} pilots", samples))
-    return out
+    presets = tuple(synthetic_pool(pool_size, seed=seed))
+    counts = [k for k in pilot_counts if k <= pool_size]
+    items = [
+        (presets, seed, k, rep, n_tasks)
+        for k in counts
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_pool_scaling, items, jobs=jobs)
+    return [
+        _aggregate(
+            f"{k}/{pool_size} pilots", samples[i * reps:(i + 1) * reps]
+        )
+        for i, k in enumerate(counts)
+    ]
+
+
+def _sample_locality(item) -> Tuple[float, float]:
+    seed, rep, scheduler, n_map_tasks, intermediate_mb = item
+    from ..skeleton import map_reduce
+
+    ss = np.random.SeedSequence(entropy=seed * 1000 + rep)
+    s = ss.generate_state(3)
+    rng = np.random.default_rng(s[0])
+    env = build_environment(seed=int(s[1]))
+    env.warm_up(float(rng.uniform(2 * 3600.0, 6 * 3600.0)))
+    skeleton = SkeletonAPI(
+        map_reduce(
+            n_map_tasks=n_map_tasks,
+            n_reduce_tasks=8,
+            map_duration=300.0,
+            reduce_duration=120.0,
+            input_size=1e6,
+            intermediate_size=intermediate_mb * 1e6,
+            output_size=2_000.0,
+        ),
+        seed=int(s[2]),
+    )
+    report = env.execution_manager.execute(
+        skeleton,
+        PlannerConfig(
+            binding=Binding.LATE, unit_scheduler=scheduler,
+            n_pilots=3,
+        ),
+    )
+    return (report.ttc, report.decomposition.ts)
 
 
 def locality_study(
@@ -345,6 +429,7 @@ def locality_study(
     intermediate_mb: float = 20.0,
     reps: int = 4,
     seed: int = 17,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """Data-locality unit scheduling on a two-stage pipeline (§V).
 
@@ -355,45 +440,52 @@ def locality_study(
     With 20 MB intermediates the staging difference is material; Ts is
     the auxiliary metric.
     """
-    from ..skeleton import map_reduce
+    schedulers = ("backfill", "locality")
+    items = [
+        (seed, rep, scheduler, n_map_tasks, intermediate_mb)
+        for scheduler in schedulers
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_locality, items, jobs=jobs)
+    return [
+        _aggregate(
+            scheduler, samples[i * reps:(i + 1) * reps], aux_name="Ts"
+        )
+        for i, scheduler in enumerate(schedulers)
+    ]
 
-    out = []
-    for scheduler in ("backfill", "locality"):
-        samples: List[Tuple[float, float]] = []
-        for rep in range(reps):
-            ss = np.random.SeedSequence(entropy=seed * 1000 + rep)
-            s = ss.generate_state(3)
-            rng = np.random.default_rng(s[0])
-            env = build_environment(seed=int(s[1]))
-            env.warm_up(float(rng.uniform(2 * 3600.0, 6 * 3600.0)))
-            skeleton = SkeletonAPI(
-                map_reduce(
-                    n_map_tasks=n_map_tasks,
-                    n_reduce_tasks=8,
-                    map_duration=300.0,
-                    reduce_duration=120.0,
-                    input_size=1e6,
-                    intermediate_size=intermediate_mb * 1e6,
-                    output_size=2_000.0,
-                ),
-                seed=int(s[2]),
-            )
-            report = env.execution_manager.execute(
-                skeleton,
-                PlannerConfig(
-                    binding=Binding.LATE, unit_scheduler=scheduler,
-                    n_pilots=3,
-                ),
-            )
-            samples.append((report.ttc, report.decomposition.ts))
-        out.append(_aggregate(scheduler, samples, aux_name="Ts"))
-    return out
+
+def _sample_energy(item) -> Tuple[float, float]:
+    seed, rep, binding, scheduler, k, n_tasks = item
+    from ..core import report_energy
+
+    ss = np.random.SeedSequence(entropy=seed * 1000 + rep)
+    s = ss.generate_state(3)
+    rng = np.random.default_rng(s[0])
+    env = build_environment(seed=int(s[1]))
+    env.warm_up(float(rng.uniform(2 * 3600.0, 10 * 3600.0)))
+    chosen = tuple(
+        rng.choice(list(env.pool), size=k, replace=False)
+    )
+    skeleton = SkeletonAPI(
+        paper_skeleton(n_tasks, gaussian=False), seed=int(s[2])
+    )
+    report = env.execution_manager.execute(
+        skeleton,
+        PlannerConfig(
+            binding=binding, unit_scheduler=scheduler,
+            n_pilots=k, resources=chosen,
+        ),
+    )
+    energy_kj = report_energy(report).total_joules / 1e3
+    return (report.ttc, energy_kj)
 
 
 def energy_study(
     n_tasks: int = 128,
     reps: int = 4,
     seed: int = 13,
+    jobs: int = 1,
 ) -> List[AblationPoint]:
     """Energy per strategy (the paper §V's energy-efficiency metric).
 
@@ -403,37 +495,20 @@ def energy_study(
     consumed energy (kJ) as the auxiliary metric, making the
     TTC-vs-energy trade-off of the two Table I strategies explicit.
     """
-    from ..core import report_energy
-
-    out = []
-    for label, binding, scheduler, k in (
+    arms = (
         ("early, 1 pilot", Binding.EARLY, "direct", 1),
         ("late, 3 pilots", Binding.LATE, "backfill", 3),
-    ):
-        samples: List[Tuple[float, float]] = []
-        for rep in range(reps):
-            ss = np.random.SeedSequence(entropy=seed * 1000 + rep)
-            s = ss.generate_state(3)
-            rng = np.random.default_rng(s[0])
-            env = build_environment(seed=int(s[1]))
-            env.warm_up(float(rng.uniform(2 * 3600.0, 10 * 3600.0)))
-            chosen = tuple(
-                rng.choice(list(env.pool), size=k, replace=False)
-            )
-            skeleton = SkeletonAPI(
-                paper_skeleton(n_tasks, gaussian=False), seed=int(s[2])
-            )
-            report = env.execution_manager.execute(
-                skeleton,
-                PlannerConfig(
-                    binding=binding, unit_scheduler=scheduler,
-                    n_pilots=k, resources=chosen,
-                ),
-            )
-            energy_kj = report_energy(report).total_joules / 1e3
-            samples.append((report.ttc, energy_kj))
-        out.append(_aggregate(label, samples, aux_name="kJ"))
-    return out
+    )
+    items = [
+        (seed, rep, binding, scheduler, k, n_tasks)
+        for _, binding, scheduler, k in arms
+        for rep in range(reps)
+    ]
+    samples = parallel_map(_sample_energy, items, jobs=jobs)
+    return [
+        _aggregate(label, samples[i * reps:(i + 1) * reps], aux_name="kJ")
+        for i, (label, _, _, _) in enumerate(arms)
+    ]
 
 
 @dataclass(frozen=True)
@@ -460,10 +535,53 @@ class WaitModelComparison:
         )
 
 
+def _probe_pair_on(cluster, sim, probe_cores: int) -> Tuple[float, float]:
+    from ..cluster import BatchJob
+
+    probes = []
+    for delay in (0.0, 600.0):
+        probe = BatchJob(cores=probe_cores, runtime=900,
+                         walltime=1800, kind="probe")
+        sim.call_in(delay, cluster.submit, probe)
+        probes.append(probe)
+    sim.run(until=sim.now + 48 * 3600)
+    return tuple(
+        p.wait_time if p.wait_time is not None else 48 * 3600.0
+        for p in probes
+    )
+
+
+def _sample_emergent_pair(item) -> Tuple[float, float]:
+    seed, rep, probe_cores = item
+    ss = np.random.SeedSequence(entropy=seed * 100 + rep)
+    s = ss.generate_state(2)
+    rng = np.random.default_rng(s[0])
+    env = build_environment(seed=int(s[1]))
+    env.warm_up(float(rng.uniform(2 * 3600.0, 10 * 3600.0)))
+    name = str(rng.choice(list(env.pool)))
+    return _probe_pair_on(env.pool[name].cluster, env.sim, probe_cores)
+
+
+def _sample_sampled_pair(item) -> Tuple[float, float]:
+    seed, rep, mu, sigma, probe_cores = item
+    from ..cluster.sampled import SampledWaitCluster
+    from ..des import Simulation
+    from ..net import Network
+
+    sim = Simulation(seed=seed * 1000 + rep)
+    Network(sim)  # parity with the emergent arm's construction
+    cluster = SampledWaitCluster(
+        sim, "sampled", nodes=64, cores_per_node=16,
+        wait_mu=mu, wait_sigma=sigma, submit_overhead=0.0,
+    )
+    return _probe_pair_on(cluster, sim, probe_cores)
+
+
 def emergent_vs_sampled_study(
     n_pairs: int = 12,
     probe_cores: int = 256,
     seed: int = 11,
+    jobs: int = 1,
 ) -> WaitModelComparison:
     """Measure the design decision DESIGN.md calls out: emergent waits.
 
@@ -475,49 +593,23 @@ def emergent_vs_sampled_study(
     the emergent arm produced, so the marginals match — only the
     dependence structure differs.
     """
-    from ..cluster import BatchJob
-    from ..cluster.sampled import SampledWaitCluster, fit_lognormal_waits
-    from ..des import Simulation
-    from ..net import Network
-
-    def probe_pair_on(cluster, sim) -> Tuple[float, float]:
-        probes = []
-        for delay in (0.0, 600.0):
-            probe = BatchJob(cores=probe_cores, runtime=900,
-                             walltime=1800, kind="probe")
-            sim.call_in(delay, cluster.submit, probe)
-            probes.append(probe)
-        sim.run(until=sim.now + 48 * 3600)
-        return tuple(
-            p.wait_time if p.wait_time is not None else 48 * 3600.0
-            for p in probes
-        )
+    from ..cluster.sampled import fit_lognormal_waits
 
     # --- emergent arm -------------------------------------------------------
-    emergent_pairs: List[Tuple[float, float]] = []
-    for rep in range(n_pairs):
-        ss = np.random.SeedSequence(entropy=seed * 100 + rep)
-        s = ss.generate_state(2)
-        rng = np.random.default_rng(s[0])
-        env = build_environment(seed=int(s[1]))
-        env.warm_up(float(rng.uniform(2 * 3600.0, 10 * 3600.0)))
-        name = str(rng.choice(list(env.pool)))
-        emergent_pairs.append(
-            probe_pair_on(env.pool[name].cluster, env.sim)
-        )
+    emergent_pairs: List[Tuple[float, float]] = parallel_map(
+        _sample_emergent_pair,
+        [(seed, rep, probe_cores) for rep in range(n_pairs)],
+        jobs=jobs,
+    )
 
     # --- sampled arm (marginals fitted to the emergent waits) ----------------
     all_waits = [w for pair in emergent_pairs for w in pair]
     mu, sigma = fit_lognormal_waits(all_waits)
-    sampled_pairs: List[Tuple[float, float]] = []
-    for rep in range(n_pairs):
-        sim = Simulation(seed=seed * 1000 + rep)
-        Network(sim)  # parity with the emergent arm's construction
-        cluster = SampledWaitCluster(
-            sim, "sampled", nodes=64, cores_per_node=16,
-            wait_mu=mu, wait_sigma=sigma, submit_overhead=0.0,
-        )
-        sampled_pairs.append(probe_pair_on(cluster, sim))
+    sampled_pairs: List[Tuple[float, float]] = parallel_map(
+        _sample_sampled_pair,
+        [(seed, rep, mu, sigma, probe_cores) for rep in range(n_pairs)],
+        jobs=jobs,
+    )
 
     def corr(pairs: List[Tuple[float, float]]) -> float:
         a = np.asarray([p[0] for p in pairs])

@@ -105,14 +105,28 @@ def calibrate_resource(
     )
 
 
+def _sample_calibration(item) -> ResourceCalibration:
+    name, seed, hours = item
+    return calibrate_resource(name, seed=seed, hours=hours)
+
+
 def calibrate_all(
-    seed: int = 0, hours: float = 24.0
+    seed: int = 0, hours: float = 24.0, jobs: int = 1
 ) -> Dict[str, ResourceCalibration]:
-    """Calibrate every preset."""
-    return {
-        name: calibrate_resource(name, seed=seed, hours=hours)
-        for name in PRESETS
-    }
+    """Calibrate every preset (``jobs`` presets at a time).
+
+    Each preset's calibration is independently seeded, so the parallel
+    run returns exactly the serial results.
+    """
+    from .runner import parallel_map
+
+    names = list(PRESETS)
+    results = parallel_map(
+        _sample_calibration,
+        [(name, seed, hours) for name in names],
+        jobs=jobs,
+    )
+    return dict(zip(names, results))
 
 
 def render_calibration(results: Dict[str, ResourceCalibration]) -> str:

@@ -10,8 +10,10 @@ the paper — a randomized choice/order of target resources.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,28 +71,75 @@ class RunResult:
     pilot_waits: Tuple[float, ...]
     units_done: int
     restarts: int
+    #: kernel events processed by this repetition's simulation.
+    events: int = 0
+    #: SHA-256 over the repetition's telemetry/fault/health digests when
+    #: the run was executed with ``collect_digests=True``; "" otherwise.
+    digest: str = ""
 
     @property
     def succeeded(self) -> bool:
         return self.units_done == self.n_tasks
 
 
+@dataclass(frozen=True)
+class CellError:
+    """A repetition that did not produce a result (worker crash, bug)."""
+
+    exp_id: int
+    n_tasks: int
+    rep: int
+    error: str
+
+
 @dataclass
 class CampaignResult:
-    """All repetitions of a campaign, with aggregation helpers."""
+    """All repetitions of a campaign, with aggregation helpers.
+
+    Cell lookups go through a ``(exp_id, n_tasks)`` index built lazily
+    and invalidated whenever ``runs`` changes length, so repeated
+    :meth:`aggregate`/:meth:`series` calls on a large campaign cost
+    O(cell) instead of O(runs) each.
+    """
 
     runs: List[RunResult] = field(default_factory=list)
+    #: repetitions lost to worker crashes or per-cell exceptions; a
+    #: healthy campaign has none.
+    errors: List[CellError] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index: Dict[Tuple[int, int], List[RunResult]] = {}
+        self._indexed_len = -1
+
+    def add(self, run: RunResult) -> None:
+        """Append one repetition (keeps the cell index incremental)."""
+        self.runs.append(run)
+        if self._indexed_len == len(self.runs) - 1:
+            self._index.setdefault((run.exp_id, run.n_tasks), []).append(run)
+            self._indexed_len = len(self.runs)
+
+    def _cell_index(self) -> Dict[Tuple[int, int], List[RunResult]]:
+        # Length-check invalidation: direct `runs` mutation (the public
+        # dataclass field) is detected and triggers a rebuild.
+        if self._indexed_len != len(self.runs):
+            index: Dict[Tuple[int, int], List[RunResult]] = {}
+            for r in self.runs:
+                index.setdefault((r.exp_id, r.n_tasks), []).append(r)
+            self._index = index
+            self._indexed_len = len(self.runs)
+        return self._index
 
     def cell(self, exp_id: int, n_tasks: int) -> List[RunResult]:
-        return [
-            r for r in self.runs if r.exp_id == exp_id and r.n_tasks == n_tasks
-        ]
+        return list(self._cell_index().get((exp_id, n_tasks), ()))
 
     def aggregate(
         self, exp_id: int, n_tasks: int, attr: str = "ttc"
     ) -> Tuple[float, float]:
         """(mean, std) of one attribute over a cell's repetitions."""
-        values = [getattr(r, attr) for r in self.cell(exp_id, n_tasks)]
+        values = [
+            getattr(r, attr)
+            for r in self._cell_index().get((exp_id, n_tasks), ())
+        ]
         if not values:
             return (float("nan"), float("nan"))
         arr = np.asarray(values, dtype=float)
@@ -114,12 +163,19 @@ def run_single(
     resource_pool: Optional[Sequence[str]] = None,
     min_warmup_s: float = 2 * 3600.0,
     max_warmup_s: float = 12 * 3600.0,
+    collect_digests: bool = False,
 ) -> RunResult:
     """Execute one repetition of one (experiment, size) cell.
 
     The repetition's seed, warm-up offset, target resources, and
     materialized task durations all derive deterministically from
     ``(campaign_seed, exp_id, n_tasks, rep)``.
+
+    ``collect_digests`` enables the telemetry hub for the repetition and
+    stores a SHA-256 digest of the telemetry/fault/health logs in the
+    result — the cheap, order-independent way to check that two
+    executions of the same cell (e.g. serial vs. parallel campaign)
+    observed the identical simulated history.
     """
     ss = np.random.SeedSequence(
         entropy=campaign_seed, spawn_key=(spec.exp_id, n_tasks, rep)
@@ -127,7 +183,10 @@ def run_single(
     seeds = ss.generate_state(3)
     rng = np.random.default_rng(seeds[0])
 
-    env = build_environment(seed=int(seeds[1]), resources=resource_pool)
+    env = build_environment(
+        seed=int(seeds[1]), resources=resource_pool,
+        telemetry=collect_digests,
+    )
     # Randomized submission instant (irregular intervals, paper §IV.A).
     env.warm_up(float(rng.uniform(min_warmup_s, max_warmup_s)))
 
@@ -148,6 +207,22 @@ def run_single(
     )
     report = env.execution_manager.execute(skeleton, config)
     d = report.decomposition
+    digest = ""
+    if collect_digests:
+        payload = {
+            "telemetry": env.sim.telemetry.digest(),
+            "faults": (
+                report.fault_log.digest()
+                if report.fault_log is not None else None
+            ),
+            "health": (
+                report.health_log.digest()
+                if report.health_log is not None else None
+            ),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
     return RunResult(
         exp_id=spec.exp_id,
         n_tasks=n_tasks,
@@ -162,6 +237,8 @@ def run_single(
         pilot_waits=d.pilot_waits,
         units_done=d.units_done,
         restarts=d.restarts,
+        events=int(env.sim.events_processed),
+        digest=digest,
     )
 
 
@@ -172,9 +249,34 @@ def run_campaign(
     campaign_seed: int = 0,
     resource_pool: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    collect_digests: bool = False,
+    on_progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
-    """Run the full experiment grid; returns all repetitions."""
+    """Run the full experiment grid; returns all repetitions.
+
+    ``jobs`` fans the (experiment, size, rep) grid out to that many
+    worker processes (0 = one per usable CPU). Each repetition is seeded
+    independently from ``(campaign_seed, exp_id, n_tasks, rep)``, so the
+    parallel campaign produces results identical to the serial one —
+    see :mod:`repro.experiments.runner` for the determinism contract.
+    """
+    if jobs != 1:
+        from .runner import run_parallel_campaign
+
+        return run_parallel_campaign(
+            experiments=experiments,
+            task_counts=task_counts,
+            reps=reps,
+            campaign_seed=campaign_seed,
+            resource_pool=resource_pool,
+            verbose=verbose,
+            jobs=jobs,
+            collect_digests=collect_digests,
+            on_progress=on_progress,
+        )
     result = CampaignResult()
+    total = len(list(experiments)) * len(list(task_counts)) * reps
     for exp_id in experiments:
         spec = TABLE1[exp_id]
         for n_tasks in task_counts:
@@ -183,12 +285,15 @@ def run_campaign(
                     spec, n_tasks, rep,
                     campaign_seed=campaign_seed,
                     resource_pool=resource_pool,
+                    collect_digests=collect_digests,
                 )
-                result.runs.append(run)
+                result.add(run)
                 if verbose:
                     print(
                         f"{spec.label} n={n_tasks} rep={rep}: "
                         f"TTC={run.ttc:.0f}s Tw={run.tw:.0f}s "
                         f"done={run.units_done}/{n_tasks}"
                     )
+                if on_progress is not None:
+                    on_progress(len(result.runs), total)
     return result

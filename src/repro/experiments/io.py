@@ -11,17 +11,20 @@ import dataclasses
 import json
 from typing import Any, Dict
 
-from .campaign import CampaignResult, RunResult
+from .campaign import CampaignResult, CellError, RunResult
 
 FORMAT_VERSION = 1
 
 
 def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
     """Serialize a campaign to plain JSON-compatible data."""
-    return {
+    out: Dict[str, Any] = {
         "format": FORMAT_VERSION,
         "runs": [dataclasses.asdict(run) for run in result.runs],
     }
+    if result.errors:
+        out["errors"] = [dataclasses.asdict(err) for err in result.errors]
+    return out
 
 
 def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
@@ -37,7 +40,12 @@ def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
         raw = dict(raw)
         raw["resources"] = tuple(raw["resources"])
         raw["pilot_waits"] = tuple(raw["pilot_waits"])
-        result.runs.append(RunResult(**raw))
+        # Files written before the parallel runner lack these fields.
+        raw.setdefault("events", 0)
+        raw.setdefault("digest", "")
+        result.add(RunResult(**raw))
+    for raw in data.get("errors", ()):
+        result.errors.append(CellError(**raw))
     return result
 
 

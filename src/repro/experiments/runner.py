@@ -1,0 +1,376 @@
+"""Parallel campaign execution across worker processes.
+
+A Monte-Carlo campaign is embarrassingly parallel: every repetition of
+every ``(experiment, n_tasks)`` cell derives its seeds independently
+from ``(campaign_seed, exp_id, n_tasks, rep)`` via
+``np.random.SeedSequence`` and runs in a fresh simulation. The runner
+exploits that by fanning the grid out to a :class:`ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+The parallel campaign is *bit-identical* to the serial one:
+
+* Seeding depends only on the cell coordinates, never on execution
+  order, worker identity, or wall-clock time.
+* Workers return completed :class:`RunResult` values; the parent never
+  mutates them.
+* Results are re-ordered into grid order (experiments x task_counts x
+  reps, exactly the serial loop nest) before the
+  :class:`CampaignResult` is assembled, so downstream consumers see the
+  same sequence regardless of which worker finished first.
+
+``tests/experiments/test_runner.py`` asserts field-by-field equality of
+serial and parallel campaigns — including the per-repetition
+telemetry/fault/health digests — and CI re-checks it on every push.
+
+Scheduling
+----------
+Cells are packed into chunks, biggest first (cost model: a cell's wall
+time grows roughly linearly in ``n_tasks`` on top of a fixed
+environment-construction overhead). Big-first packing keeps the long
+cells from landing at the tail of the schedule where they would leave
+all other workers idle. Each chunk is one executor task, which
+amortizes process-pool dispatch overhead for the many small cells.
+
+Crash containment
+-----------------
+A worker process dying (segfault, OOM kill) breaks the whole pool: all
+in-flight futures raise :class:`BrokenProcessPool` and we cannot tell
+which chunk was guilty. The runner then splits every unfinished chunk
+into single-cell chunks and retries them in a fresh pool. A cell that
+breaks a pool twice on its own is recorded as a
+:class:`~repro.experiments.campaign.CellError` instead of a result;
+innocent cells complete normally. Ordinary exceptions inside a
+repetition never break the pool — the worker catches them per cell and
+reports them as errors.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from concurrent.futures import as_completed, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..skeleton import PAPER_TASK_COUNTS
+from .campaign import (
+    TABLE1,
+    CampaignResult,
+    CellError,
+    RunResult,
+    run_single,
+)
+
+#: One repetition's coordinates in the campaign grid.
+Cell = Tuple[int, int, int]  # (exp_id, n_tasks, rep)
+
+#: Environment setup (pool construction, queue priming) costs roughly as
+#: much as ~64 tasks' worth of simulated execution; the rest of a cell's
+#: wall time is close to linear in its task count.
+_BASE_COST = 64
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Map a ``--jobs`` value to a worker count.
+
+    ``0`` or ``None`` means one worker per *usable* CPU — the scheduling
+    affinity mask, not the raw core count, so cgroup/taskset-restricted
+    environments (CI runners, containers) are sized honestly.
+    """
+    if jobs is None or jobs == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+def cell_cost(cell: Cell) -> int:
+    """Relative wall-time estimate for one repetition."""
+    return _BASE_COST + cell[1]
+
+
+def plan_chunks(cells: Sequence[Cell], jobs: int) -> List[List[Cell]]:
+    """Pack cells into chunks for dispatch, biggest cells first.
+
+    The chunk size target is ``total_cost / (jobs * 4)`` (but at least
+    one maximal cell), giving ~4 waves of chunks per worker: small
+    enough for load balancing when cell costs are skewed, large enough
+    that pool dispatch overhead stays negligible. Deterministic — no
+    randomness, ties keep grid order (stable sort).
+    """
+    if not cells:
+        return []
+    jobs = max(1, jobs)
+    costed = sorted(cells, key=cell_cost, reverse=True)
+    total = sum(cell_cost(c) for c in cells)
+    target = max(cell_cost(costed[0]), total // (jobs * 4))
+    chunks: List[List[Cell]] = []
+    current: List[Cell] = []
+    acc = 0
+    for cell in costed:
+        current.append(cell)
+        acc += cell_cost(cell)
+        if acc >= target:
+            chunks.append(current)
+            current = []
+            acc = 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# -- worker side (module-level: must be picklable under spawn too) -------------
+
+
+def _default_run_cell(
+    cell: Cell,
+    campaign_seed: int,
+    resource_pool: Optional[Tuple[str, ...]],
+    collect_digests: bool,
+) -> RunResult:
+    """Execute one repetition in the worker process."""
+    exp_id, n_tasks, rep = cell
+    return run_single(
+        TABLE1[exp_id], n_tasks, rep,
+        campaign_seed=campaign_seed,
+        resource_pool=resource_pool,
+        collect_digests=collect_digests,
+    )
+
+
+def _resolve_run_fn(path: Optional[str]):
+    """Import a ``module:attr`` run function (test injection hook)."""
+    if path is None:
+        return _default_run_cell
+    module_name, _, attr = path.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _run_chunk(
+    chunk: Sequence[Cell],
+    campaign_seed: int,
+    resource_pool: Optional[Tuple[str, ...]],
+    collect_digests: bool,
+    run_fn_path: Optional[str],
+) -> List[Tuple[str, Cell, object]]:
+    """Worker entry point: run every cell of one chunk.
+
+    Exceptions are contained per cell — one failing repetition costs
+    that repetition, not the chunk and not the campaign.
+    """
+    run_fn = _resolve_run_fn(run_fn_path)
+    out: List[Tuple[str, Cell, object]] = []
+    for cell in chunk:
+        try:
+            out.append(
+                ("ok", cell,
+                 run_fn(cell, campaign_seed, resource_pool, collect_digests))
+            )
+        except Exception as exc:  # noqa: BLE001 - containment boundary
+            out.append(("error", cell, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+@dataclass
+class RunnerStats:
+    """Aggregated telemetry for one parallel campaign."""
+
+    jobs: int = 0
+    chunks: int = 0
+    cells: int = 0
+    completed: int = 0
+    errors: int = 0
+    pool_restarts: int = 0
+    wall_s: float = 0.0
+    #: total kernel events processed across every repetition.
+    events: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _execute_chunks(
+    chunks: List[List[Cell]],
+    jobs: int,
+    worker_args: Tuple,
+    stats: RunnerStats,
+    on_cell: Callable[[str, Cell, object], None],
+) -> None:
+    """Drive chunks to completion, surviving worker crashes.
+
+    Chunks whose futures raise :class:`BrokenProcessPool` are split into
+    single-cell chunks and retried in a fresh pool; a cell that breaks a
+    pool twice while running alone is recorded as an error.
+    """
+    pending: List[List[Cell]] = list(chunks)
+    solo_attempts: Dict[Cell, int] = {}
+    while pending:
+        broken: List[List[Cell]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, chunk, *worker_args): chunk
+                for chunk in pending
+            }
+            for fut in as_completed(futures):
+                chunk = futures[fut]
+                try:
+                    for status, cell, payload in fut.result():
+                        on_cell(status, cell, payload)
+                except BrokenProcessPool:
+                    broken.append(chunk)
+        if not broken:
+            return
+        stats.pool_restarts += 1
+        retry: List[List[Cell]] = []
+        for chunk in broken:
+            for cell in chunk:
+                attempts = solo_attempts.get(cell, 0)
+                if len(chunk) == 1:
+                    attempts += 1
+                    solo_attempts[cell] = attempts
+                if attempts >= 2:
+                    on_cell(
+                        "error", cell,
+                        "worker process crashed while running this "
+                        "repetition (twice in isolation)",
+                    )
+                else:
+                    retry.append([cell])
+        pending = retry
+
+
+def run_parallel_campaign(
+    experiments: Sequence[int] = (1, 2, 3, 4),
+    task_counts: Sequence[int] = PAPER_TASK_COUNTS,
+    reps: int = 5,
+    campaign_seed: int = 0,
+    resource_pool: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+    jobs: int = 0,
+    collect_digests: bool = False,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+    run_fn: Optional[str] = None,
+    stats: Optional[RunnerStats] = None,
+) -> CampaignResult:
+    """Run the experiment grid on ``jobs`` worker processes.
+
+    Produces a :class:`CampaignResult` whose ``runs`` are identical —
+    field by field, in the same order — to the serial
+    :func:`~repro.experiments.campaign.run_campaign`. Repetitions lost
+    to worker crashes appear in ``result.errors`` instead of killing
+    the campaign.
+
+    ``run_fn`` names a ``module:attr`` replacement for the per-cell
+    execution function (used by the crash-containment tests).
+    ``stats``, when given, is filled with aggregated runner telemetry.
+    """
+    t0 = time.perf_counter()
+    jobs = resolve_jobs(jobs)
+    experiments = list(experiments)
+    task_counts = list(task_counts)
+    grid: List[Cell] = [
+        (exp_id, n_tasks, rep)
+        for exp_id in experiments
+        for n_tasks in task_counts
+        for rep in range(reps)
+    ]
+    stats = stats if stats is not None else RunnerStats()
+    stats.jobs = jobs
+    stats.cells = len(grid)
+
+    pool_arg = tuple(resource_pool) if resource_pool is not None else None
+    results: Dict[Cell, RunResult] = {}
+    errors: Dict[Cell, str] = {}
+
+    def on_cell(status: str, cell: Cell, payload: object) -> None:
+        if status == "ok":
+            results[cell] = payload  # type: ignore[assignment]
+            stats.completed += 1
+            stats.events += getattr(payload, "events", 0)
+        else:
+            errors[cell] = str(payload)
+            stats.errors += 1
+        if verbose:
+            exp_id, n_tasks, rep = cell
+            if status == "ok":
+                run = payload
+                print(
+                    f"{TABLE1[exp_id].label} n={n_tasks} rep={rep}: "
+                    f"TTC={run.ttc:.0f}s Tw={run.tw:.0f}s "
+                    f"done={run.units_done}/{n_tasks}"
+                )
+            else:
+                print(
+                    f"{TABLE1[exp_id].label} n={n_tasks} rep={rep}: "
+                    f"ERROR {payload}"
+                )
+        if on_progress is not None:
+            on_progress(len(results) + len(errors), len(grid))
+
+    if jobs <= 1 or len(grid) <= 1:
+        # Single worker: run in-process. Same code path as the serial
+        # campaign, same results; no pool overhead, and it keeps
+        # ``--jobs 1`` usable on machines where fork is unavailable.
+        for cell in grid:
+            for status, c, payload in _run_chunk(
+                [cell], campaign_seed, pool_arg, collect_digests, run_fn
+            ):
+                on_cell(status, c, payload)
+        stats.chunks = len(grid)
+    else:
+        chunks = plan_chunks(grid, jobs)
+        stats.chunks = len(chunks)
+        _execute_chunks(
+            chunks, jobs,
+            (campaign_seed, pool_arg, collect_digests, run_fn),
+            stats, on_cell,
+        )
+
+    # Re-assemble in grid order: deterministic, independent of worker
+    # completion order.
+    out = CampaignResult()
+    for cell in grid:
+        if cell in results:
+            out.add(results[cell])
+        elif cell in errors:
+            out.errors.append(CellError(*cell, error=errors[cell]))
+        else:  # pragma: no cover - defensive; every cell resolves above
+            out.errors.append(CellError(*cell, error="repetition lost"))
+    stats.wall_s = time.perf_counter() - t0
+    return out
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+) -> List:
+    """Order-preserving process-parallel map for campaign-style drivers.
+
+    ``fn`` must be a module-level (picklable) callable and every item's
+    result must be independent of the others — true for the ablation and
+    calibration drivers, whose samples are seeded per item. Falls back
+    to a plain in-process loop when ``jobs`` resolves to one worker or
+    there is at most one item, so callers need no single-CPU special
+    case. Unlike the campaign runner this helper does not survive
+    worker crashes; a crash propagates as :class:`BrokenProcessPool`.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]

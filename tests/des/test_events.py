@@ -126,3 +126,70 @@ def test_tracer_disable_enable():
     assert len(t.records) == 1
     t.clear()
     assert t.records == []
+
+
+# -- lazy cancellation bounds (compaction) ------------------------------------
+
+
+def test_cancel_after_fire_is_noop():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    popped = q.pop()
+    assert popped is ev and popped.fired
+    q.cancel(ev)  # fired events must not perturb the live count
+    assert len(q) == 1 and bool(q)
+    assert q.pop().time == 2.0
+    assert len(q) == 0 and not q
+
+
+def test_compaction_bounds_cancelled_backlog():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(200)]
+    for ev in events[:150]:
+        q.cancel(ev)
+        # Invariant: dead entries never outnumber live ones on a big
+        # heap, so retention is bounded at 2x the live count.
+        assert q._cancelled <= max(len(q), 32)
+    assert len(q) == 50
+    assert len(q._heap) <= 2 * len(q)
+    # Draining pops every live event exactly once, in order.
+    times = []
+    while q:
+        times.append(q.pop().time)
+    assert times == [float(i) for i in range(150, 200)]
+
+
+def test_small_heaps_never_compact():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(10)]
+    for ev in events[:9]:
+        q.cancel(ev)
+    # Below the compaction floor dead entries drain lazily on pop.
+    assert len(q._heap) == 10
+    assert len(q) == 1
+    assert q.pop().time == 9.0
+
+
+def test_compaction_preserves_pop_order():
+    import random
+
+    rng = random.Random(42)
+    q = EventQueue()
+    handles = []
+    for i in range(500):
+        handles.append(
+            q.push(float(rng.choice([1, 2, 3, 5, 8])), lambda: None, (),
+                   priority=rng.choice([0, 1]))
+        )
+    cancelled = set(rng.sample(range(500), 430))
+    for i in cancelled:
+        q.cancel(handles[i])  # triggers at least one compaction
+    expected = sorted(
+        (ev for i, ev in enumerate(handles) if i not in cancelled),
+        key=lambda e: (e.time, e.priority, e.seq),
+    )
+    popped = []
+    while q:
+        popped.append(q.pop())
+    assert popped == expected

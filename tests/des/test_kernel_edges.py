@@ -192,3 +192,76 @@ def test_random_interleaving_is_deterministic(seed):
         return trail
 
     assert run_once() == run_once()
+
+
+def test_run_until_now_fires_due_events_only():
+    sim = Simulation()
+    fired = []
+    sim.call_at(0.0, fired.append, "now")
+    sim.call_at(1.0, fired.append, "later")
+    end = sim.run(until=0.0)
+    assert end == 0.0 and sim.now == 0.0
+    assert fired == ["now"]
+    sim.run()
+    assert fired == ["now", "later"]
+
+
+def test_run_until_past_raises():
+    from repro.des.errors import SchedulingError
+
+    sim = Simulation()
+    sim.call_in(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    with pytest.raises(SchedulingError, match="cannot run until"):
+        sim.run(until=1.0)
+
+
+def test_run_process_deadlock_detected():
+    sim = Simulation()
+
+    def waiter():
+        yield sim.event()  # nobody ever triggers it
+
+    p = sim.process(waiter())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(p)
+
+
+def test_cancel_after_fire_keeps_kernel_consistent():
+    sim = Simulation()
+    fired = []
+    ev = sim.call_in(1.0, fired.append, "a")
+    sim.call_in(2.0, fired.append, "b")
+    sim.run(until=1.5)
+    sim.cancel(ev)  # already dispatched: must be a no-op
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.events_processed == 2
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_event_order_deterministic_under_interleaved_cancel_push(seed):
+    def drive(entropy):
+        rng = np.random.default_rng(entropy)
+        sim = Simulation(seed=0)
+        log = []
+
+        def note(i):
+            log.append((sim.now, i))
+
+        handles = []
+        for i in range(400):
+            op = int(rng.integers(3))
+            if op == 0 or not handles:
+                handles.append(
+                    sim.call_in(float(rng.integers(10)), note, i)
+                )
+            elif op == 1:
+                sim.cancel(handles[int(rng.integers(len(handles)))])
+            else:
+                sim.step()
+        sim.run()
+        return log
+
+    assert drive(seed) == drive(seed)

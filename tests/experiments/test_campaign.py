@@ -119,6 +119,48 @@ class TestCampaignAggregation:
         assert 0 <= lo <= hi
 
 
+class TestCellIndex:
+    @staticmethod
+    def _run(exp, n, rep, ttc=100.0):
+        return RunResult(
+            exp_id=exp, n_tasks=n, rep=rep, resources=("x",),
+            ttc=ttc, tw=0, tw_last=0, tx=0, ts=0, trp=0,
+            pilot_waits=(0,), units_done=n, restarts=0,
+        )
+
+    def test_add_keeps_index_incremental(self):
+        result = CampaignResult()
+        result.add(self._run(1, 8, 0))
+        assert len(result.cell(1, 8)) == 1  # builds the index
+        result.add(self._run(1, 8, 1))  # incremental update, no rebuild
+        assert len(result.cell(1, 8)) == 2
+        assert result.cell(3, 8) == []
+
+    def test_direct_runs_mutation_invalidates_index(self):
+        result = CampaignResult()
+        result.add(self._run(1, 8, 0))
+        assert len(result.cell(1, 8)) == 1
+        # Bypassing add() — the public dataclass field — must still be
+        # picked up via the length check.
+        result.runs.append(self._run(1, 8, 1))
+        assert len(result.cell(1, 8)) == 2
+
+    def test_aggregate_uses_index(self):
+        result = CampaignResult()
+        for rep, ttc in enumerate((100.0, 300.0)):
+            result.add(self._run(2, 16, rep, ttc))
+        mean, std = result.aggregate(2, 16, "ttc")
+        assert mean == 200.0 and std == 100.0
+        nan_mean, _ = result.aggregate(2, 99)
+        assert math.isnan(nan_mean)
+
+    def test_cell_returns_copy(self):
+        result = CampaignResult()
+        result.add(self._run(1, 8, 0))
+        result.cell(1, 8).clear()  # mutating the copy
+        assert len(result.cell(1, 8)) == 1
+
+
 def test_win_fraction_synthetic():
     result = CampaignResult()
 

@@ -55,6 +55,26 @@ class TestIO:
         with pytest.raises(ValueError):
             campaign_from_dict(data)
 
+    def test_errors_roundtrip(self, tiny_campaign):
+        from repro.experiments.campaign import CellError
+
+        tiny = campaign_from_dict(campaign_to_dict(tiny_campaign))
+        tiny.errors.append(CellError(3, 8, 7, "worker process crashed"))
+        rebuilt = campaign_from_dict(campaign_to_dict(tiny))
+        assert rebuilt.errors == tiny.errors
+        # campaigns without errors serialize without the key
+        assert "errors" not in campaign_to_dict(tiny_campaign)
+
+    def test_pre_runner_files_load(self, tiny_campaign):
+        # Files written before the events/digest fields existed.
+        data = campaign_to_dict(tiny_campaign)
+        for raw in data["runs"]:
+            raw.pop("events", None)
+            raw.pop("digest", None)
+        rebuilt = campaign_from_dict(data)
+        assert all(r.events == 0 and r.digest == "" for r in rebuilt.runs)
+        assert len(rebuilt.runs) == len(tiny_campaign.runs)
+
 
 class TestCLI:
     def test_parser_requires_command(self):
@@ -87,6 +107,18 @@ class TestCLI:
         ])
         assert rc == 0
         assert "Figure 2" in capsys.readouterr().out
+
+    def test_campaign_jobs_flag_matches_serial(self, tmp_path):
+        base = ["campaign", "--experiments", "3", "--sizes", "8",
+                "--reps", "2", "--seed", "5", "-q", "--digests"]
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(base + ["-o", str(serial_path)]) == 0
+        assert main(base + ["-j", "2", "-o", str(parallel_path)]) == 0
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert serial["runs"] == parallel["runs"]
+        assert all(r["digest"] for r in parallel["runs"])
 
     def test_run_command(self, capsys):
         rc = main([
