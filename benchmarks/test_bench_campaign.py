@@ -1,6 +1,6 @@
-"""Campaign runner benchmarks: kernel throughput, parallel speedup, digests.
+"""Campaign runner benchmarks: kernel throughput, speedup, digests, attribution.
 
-Three measurements, all written to ``benchmarks/BENCH_campaign.json``
+Four measurements, all written to ``benchmarks/BENCH_campaign.json``
 (the artifact CI uploads):
 
 * **Kernel throughput** — the Exp. 3, 256-task cell with telemetry off,
@@ -21,6 +21,9 @@ Three measurements, all written to ``benchmarks/BENCH_campaign.json``
 * **Digest equivalence** — serial and parallel campaigns of the same
   seed must produce identical per-repetition telemetry/fault/health
   digests and identical results.
+* **Attribution fingerprint** — the causal TTC attribution of a small
+  committed grid must match the ``campaign-attribution`` baseline
+  exactly (virtual-time quantities; host-independent).
 
 Regenerate the baseline on a quiet machine with::
 
@@ -52,6 +55,10 @@ MIN_LIMIT_S = 1.0
 
 KERNEL_KEY = "campaign-cell-exp3-256"
 
+#: committed causal-attribution fingerprint; also the default baseline
+#: key of ``repro analyze``.
+ATTRIBUTION_KEY = "campaign-attribution"
+
 #: the grid both speedup arms run: 2 experiments x 4 sizes x 2 reps.
 SPEEDUP_GRID = dict(
     experiments=(1, 3), task_counts=(8, 16, 32, 64), reps=2,
@@ -62,8 +69,15 @@ _results: dict = {}
 
 
 def _flush_results() -> None:
+    # Read-merge-write: other writers (the attribution sentinel's
+    # committed baseline, a partial earlier run) keep their keys.
+    data: dict = {}
+    if RESULTS_PATH.exists():
+        with open(RESULTS_PATH, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.update(_results)
     with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
-        json.dump(_results, fh, indent=1, sort_keys=True)
+        json.dump(data, fh, indent=1, sort_keys=True)
 
 
 def _baseline() -> dict:
@@ -180,6 +194,50 @@ def test_bench_parallel_speedup():
         # Not enough hardware to express the parallelism; the numbers
         # are recorded honestly instead of gated.
         assert speedup > 0.3  # sanity: pool overhead must stay bounded
+
+
+def test_bench_attribution_fingerprint():
+    """The causal attribution of the committed grid must not drift.
+
+    Runs the sentinel grid and compares its fingerprint — per-cell TTC,
+    causal component means, shares, throughput, and the combined
+    attribution digests — against the committed ``campaign-attribution``
+    baseline (the same key ``repro analyze`` gates on). All quantities
+    are virtual-time, so unlike the wall-clock gates this comparison is
+    exact on any machine.
+    """
+    from repro.experiments import campaign_fingerprint, compare_fingerprints
+
+    grid = dict(
+        experiments=(1, 3), task_counts=(8, 16), reps=2,
+        campaign_seed=2016,
+    )
+    fingerprint = campaign_fingerprint(run_campaign(**grid))
+
+    if os.environ.get("REPRO_BENCH_UPDATE"):
+        data = {}
+        if RESULTS_PATH.exists():
+            with open(RESULTS_PATH, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        data[ATTRIBUTION_KEY] = fingerprint
+        with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+        return
+
+    with open(RESULTS_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh).get(ATTRIBUTION_KEY)
+    assert baseline is not None, (
+        f"no committed {ATTRIBUTION_KEY!r} baseline in {RESULTS_PATH}; "
+        "run with REPRO_BENCH_UPDATE=1 to record one"
+    )
+    findings = compare_fingerprints(fingerprint, baseline)
+    assert not findings, "attribution drift vs committed baseline:\n" + (
+        "\n".join(f.describe() for f in findings)
+    )
+    assert fingerprint["digest"] == baseline["digest"], (
+        "fingerprint digest drifted without tripping tolerance gates — "
+        "a component moved subtly; inspect with `repro analyze`"
+    )
 
 
 def test_bench_digest_equivalence():

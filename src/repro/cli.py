@@ -8,12 +8,21 @@ Usage::
     python -m repro ablation pilots --reps 3
     python -m repro probe --resources stampede-sim comet-sim --cores 256
     python -m repro run --tasks 128 --binding late --pilots 3
+    python -m repro analyze campaign.json --baseline benchmarks/BENCH_campaign.json
+    python -m repro report campaign.json -o report.html
+    python -m repro tail campaign.ndjson
+
+Global flags: ``-v/--verbose`` (repeatable: INFO, then DEBUG) and
+``--log-file FILE`` (full DEBUG trail regardless of terminal verbosity).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
+import time
 from typing import Optional, Sequence
 
 import os
@@ -21,9 +30,14 @@ import os
 from .cluster import PRESETS
 from .core import Binding, PlannerConfig, RecoveryPolicy
 from .experiments import (
+    CellProgress,
+    RunLedger,
     binding_rationale_study,
     build_environment,
+    campaign_fingerprint,
+    compare_fingerprints,
     data_affinity_ablation,
+    detect_anomalies,
     heterogeneity_ablation,
     locality_study,
     emergent_vs_sampled_study,
@@ -31,14 +45,17 @@ from .experiments import (
     nonuniform_tasks_study,
     pilot_count_sweep,
     pool_scaling_study,
+    read_ledger,
     render_ablation,
     render_all,
+    render_tail,
     render_table1,
     run_campaign,
     scheduler_ablation,
 )
 from .experiments import calibrate_all, render_calibration
 from .experiments.io import load_campaign, save_campaign
+from .logutil import setup_logging
 from .faults import (
     FaultInjector,
     FaultPlan,
@@ -65,17 +82,74 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+class _EtaProgress:
+    """Progress line with an ETA from the runner's cell cost model.
+
+    Observed wall seconds per unit of estimated cost, applied to the
+    cost of the cells still outstanding — robust to the x30 spread
+    between an 8-task and a 2048-task cell that a naive
+    mean-wall-per-cell ETA gets badly wrong.
+    """
+
+    def __init__(self, grid, stream=None) -> None:
+        from .experiments.runner import cell_cost
+
+        self._cost = cell_cost
+        self._remaining = {cell: cell_cost(cell) for cell in grid}
+        self._total_cost = sum(self._remaining.values())
+        self._spent_cost = 0
+        self._spent_wall = 0.0
+        self._stream = stream if stream is not None else sys.stderr
+        self._t0 = time.perf_counter()
+
+    def __call__(self, progress: CellProgress) -> None:
+        cost = self._remaining.pop(progress.cell, 0)
+        self._spent_cost += cost
+        self._spent_wall += progress.wall_s
+        eta = ""
+        if self._spent_cost:
+            per_cost = self._spent_wall / self._spent_cost
+            left = sum(self._remaining.values())
+            eta = f", ETA {per_cost * left:.0f}s"
+        exp_id, n_tasks, rep = progress.cell
+        state = "ok" if progress.ok else "ERROR"
+        print(
+            f"\r[{progress.done}/{progress.total}] "
+            f"exp{exp_id} n={n_tasks} rep={rep} {state} "
+            f"({progress.wall_s:.1f}s){eta}   ",
+            end="", file=self._stream, flush=True,
+        )
+        if progress.done >= progress.total:
+            print(file=self._stream)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     sizes = tuple(args.sizes) if args.sizes else PAPER_TASK_COUNTS
-    result = run_campaign(
-        experiments=tuple(args.experiments),
-        task_counts=sizes,
-        reps=args.reps,
-        campaign_seed=args.seed,
-        verbose=not args.quiet,
-        jobs=args.jobs,
-        collect_digests=args.digests,
-    )
+    grid = [
+        (exp_id, n, rep)
+        for exp_id in args.experiments
+        for n in sizes
+        for rep in range(args.reps)
+    ]
+    on_progress = None if args.quiet else _EtaProgress(grid)
+    ledger = RunLedger(args.ledger) if args.ledger else None
+    try:
+        result = run_campaign(
+            experiments=tuple(args.experiments),
+            task_counts=sizes,
+            reps=args.reps,
+            campaign_seed=args.seed,
+            verbose=False,
+            jobs=args.jobs,
+            collect_digests=args.digests,
+            on_progress=on_progress,
+            ledger=ledger,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if args.ledger:
+        print(f"run ledger streamed to {args.ledger}")
     for err in result.errors:
         print(
             f"error: exp {err.exp_id} n={err.n_tasks} rep={err.rep}: "
@@ -93,6 +167,214 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     result = load_campaign(args.campaign)
     print(render_all(result))
+    return 0
+
+
+#: key under which the campaign fingerprint lives in a BENCH_*.json file.
+BASELINE_KEY = "campaign-attribution"
+
+
+def _read_baseline(path: str, key: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh).get(key)
+
+
+def _write_baseline(path: str, key: str, fingerprint: dict) -> None:
+    """Merge the fingerprint into the bench file, preserving other keys."""
+    data = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    data[key] = fingerprint
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    result = load_campaign(args.campaign)
+    fingerprint = campaign_fingerprint(result)
+    rc = 0
+
+    print(
+        f"campaign: {len(result.runs)} runs, {len(result.errors)} errors, "
+        f"fingerprint {fingerprint['digest'][:12]}"
+    )
+    for key, cell in sorted(fingerprint["cells"].items()):
+        shares = cell["shares"]
+        top = max(shares, key=shares.get)
+        print(
+            f"  cell {key:>8}: TTC {cell['ttc_mean']:>9.0f}s, "
+            f"throughput {cell['throughput']:>7.1f} tasks/h, "
+            f"dominant {top} ({shares[top]:.0%})"
+        )
+    if result.errors:
+        rc = 1
+        for err in result.errors:
+            print(
+                f"error: exp {err.exp_id} n={err.n_tasks} rep={err.rep}: "
+                f"{err.error}",
+                file=sys.stderr,
+            )
+
+    anomalies = detect_anomalies(result)
+    for anomaly in anomalies:
+        print(f"anomaly: {anomaly.describe()}")
+    if not anomalies:
+        print("no within-campaign anomalies (robust z)")
+
+    if args.update_baseline:
+        _write_baseline(args.baseline, args.baseline_key, fingerprint)
+        print(f"baseline {args.baseline_key!r} written to {args.baseline}")
+        return rc
+
+    baseline = _read_baseline(args.baseline, args.baseline_key)
+    if baseline is None:
+        print(
+            f"no {args.baseline_key!r} baseline in {args.baseline}; "
+            "run with --update-baseline to record one",
+            file=sys.stderr,
+        )
+        return 2
+    findings = compare_fingerprints(
+        fingerprint, baseline, rel_tol=args.rel_tol
+    )
+    if findings:
+        rc = 1
+        for f in findings:
+            print(f"DRIFT {f.describe()}", file=sys.stderr)
+        print(
+            f"{len(findings)} drift finding(s) vs baseline "
+            f"{baseline.get('digest', '?')[:12]}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"no drift vs baseline {baseline.get('digest', '?')[:12]} "
+            f"(tolerance {args.rel_tol:.0%})"
+        )
+    return rc
+
+
+def _report_data(result, args) -> dict:
+    """Assemble the pure-data dict `telemetry.report.render_html` takes."""
+    from .telemetry.causality import COMPONENTS
+
+    fingerprint = campaign_fingerprint(result)
+    cells = [
+        {
+            "label": f"exp{key.replace(':', ' n=')}",
+            "ttc": cell["ttc_mean"],
+            "components": cell["components"],
+        }
+        for key, cell in sorted(
+            fingerprint["cells"].items(),
+            key=lambda kv: tuple(int(x) for x in kv[0].split(":")),
+        )
+    ]
+
+    tw_by_resource: dict = {}
+    for run in result.runs:
+        for resource, wait in zip(run.resources, run.pilot_waits):
+            if isinstance(wait, (int, float)) and not math.isnan(wait):
+                tw_by_resource.setdefault(resource, []).append(float(wait))
+
+    anomalies = [
+        {"cell": a.cell, "kind": a.kind, "detail": a.detail}
+        for a in detect_anomalies(result)
+    ]
+    if args.ledger and os.path.exists(args.ledger):
+        for rec in read_ledger(args.ledger):
+            if rec.get("kind") == "cell" and rec.get("anomalies"):
+                anomalies.append({
+                    "cell": f"{rec['exp']}:{rec['n']}",
+                    "kind": ",".join(rec["anomalies"]),
+                    "detail": f"rep {rec['rep']} (ledger)",
+                })
+
+    data: dict = {
+        "title": "Causal TTC attribution report",
+        "subtitle": (
+            f"{len(result.runs)} runs, campaign seed "
+            f"{result.meta.get('campaign_seed', '?')}, fingerprint "
+            f"{fingerprint['digest'][:12]}"
+        ),
+        "summary": [
+            ("runs", len(result.runs)),
+            ("errors", len(result.errors)),
+            ("experiments", ", ".join(
+                str(e) for e in result.meta.get("experiments", ())
+            ) or "?"),
+            ("task counts", ", ".join(
+                str(n) for n in result.meta.get("task_counts", ())
+            ) or "?"),
+            ("fingerprint", fingerprint["digest"]),
+        ],
+        "cells": cells,
+        "tw_by_resource": tw_by_resource,
+        "anomalies": anomalies,
+    }
+
+    # Critical path: replay the slowest repetition from its coordinates
+    # (deterministic — the campaign file stores the seeds' provenance).
+    meta = result.meta
+    if result.runs and meta.get("campaign_seed") is not None:
+        from .experiments.campaign import TABLE1, run_cell_report
+
+        slowest = max(
+            result.runs, key=lambda r: (r.ttc, r.exp_id, r.n_tasks, r.rep)
+        )
+        report, _, _ = run_cell_report(
+            TABLE1[slowest.exp_id], slowest.n_tasks, slowest.rep,
+            campaign_seed=int(meta["campaign_seed"]),
+            resource_pool=meta.get("resource_pool"),
+        )
+        att = report.attribution()
+        data["critical_path"] = [seg.as_dict() for seg in att.critical_path]
+        data["summary"].append((
+            "critical path of",
+            f"exp{slowest.exp_id} n={slowest.n_tasks} rep={slowest.rep} "
+            f"(TTC {slowest.ttc:.0f}s)",
+        ))
+        data["summary"].append((
+            "path components",
+            ", ".join(
+                f"{name} {seconds:.0f}s"
+                for name, seconds in att.path_by_component().items()
+                if seconds > 0 and name in COMPONENTS
+            ),
+        ))
+
+    if args.baseline:
+        baseline = _read_baseline(args.baseline, args.baseline_key)
+        if baseline is not None:
+            data["drift"] = [
+                {
+                    "cell": f.cell, "metric": f.metric,
+                    "baseline": f.baseline, "current": f.current,
+                    "rel": f.rel_change,
+                }
+                for f in compare_fingerprints(fingerprint, baseline)
+            ]
+    return data
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry.report import save_html
+
+    result = load_campaign(args.campaign)
+    data = _report_data(result, args)
+    save_html(data, args.output)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.ledger):
+        print(f"no such ledger: {args.ledger}", file=sys.stderr)
+        return 2
+    print(render_tail(read_ledger(args.ledger), last=args.last))
     return 0
 
 
@@ -235,6 +517,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(report.strategy.describe())
     print()
     print(report.summary())
+    if args.attribution:
+        att = report.attribution()
+        print()
+        print(att.summary())
+        print(f"attribution digest: {att.digest()}")
+        print("critical path:")
+        for seg in att.critical_path:
+            print(
+                f"  {seg.t0:>10.1f} .. {seg.t1:>10.1f}  "
+                f"{seg.duration:>8.1f}s  {seg.component:<4}  {seg.label}"
+            )
     if report.fault_log is not None:
         print()
         print(report.fault_log.summary())
@@ -284,6 +577,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="AIMES middleware reproduction — experiment driver",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG) on stderr",
+    )
+    parser.add_argument(
+        "--log-file", default=None, metavar="FILE",
+        help="also write a full DEBUG log to FILE",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print the Table I strategy matrix")
@@ -305,9 +606,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a telemetry/fault/health digest per "
                         "repetition (used to cross-check serial vs "
                         "parallel execution)")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="stream an NDJSON run ledger to FILE (one line "
+                        "per cell: coordinates, wall cost, worker, "
+                        "digests, anomaly flags); `repro tail` reads it")
 
     p = sub.add_parser("figures", help="render figures from a saved campaign")
     p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+
+    p = sub.add_parser(
+        "analyze",
+        help="regression sentinel: compare a campaign against a "
+             "committed baseline and scan it for anomalies",
+    )
+    p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+    p.add_argument("--baseline", default="benchmarks/BENCH_campaign.json",
+                   help="bench JSON holding the committed fingerprint "
+                        "(default: %(default)s)")
+    p.add_argument("--baseline-key", default=BASELINE_KEY,
+                   help="fingerprint key inside the baseline file "
+                        "(default: %(default)s)")
+    p.add_argument("--rel-tol", type=float, default=0.10,
+                   help="relative drift tolerance (default: %(default)s)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="record the campaign as the new baseline "
+                        "(merges into the bench file, other keys kept)")
+
+    p = sub.add_parser(
+        "report",
+        help="write a self-contained HTML attribution report",
+    )
+    p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+    p.add_argument("-o", "--output", default="report.html",
+                   help="output HTML path (default: %(default)s)")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="include anomaly flags from this NDJSON run ledger")
+    p.add_argument("--baseline", default=None,
+                   help="bench JSON to include a drift section against")
+    p.add_argument("--baseline-key", default=BASELINE_KEY)
+
+    p = sub.add_parser(
+        "tail",
+        help="progress view over a (possibly live) campaign run ledger",
+    )
+    p.add_argument("ledger", help="NDJSON ledger from `repro campaign --ledger`")
+    p.add_argument("--last", type=int, default=8,
+                   help="show the last N cells (default: %(default)s)")
 
     p = sub.add_parser("ablation", help="run one ablation study")
     p.add_argument("study", choices=sorted(list(_ABLATIONS) + ["waits"]))
@@ -337,7 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--warmup-hours", type=float, default=4.0)
     p.add_argument("--timeline", action="store_true",
-                   help="print an ASCII execution timeline")
+                   help="print an ASCII execution timeline (includes the "
+                        "causal critical-path row)")
+    p.add_argument("--attribution", action="store_true",
+                   help="print the causal TTC attribution and the "
+                        "critical-path listing")
     p.add_argument("--save", default=None,
                    help="save the execution session to this JSON file")
     p.add_argument("--faults", default=None, metavar="SPEC",
@@ -381,16 +729,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbosity=args.verbose, log_file=args.log_file)
     handlers = {
         "table1": _cmd_table1,
         "campaign": _cmd_campaign,
         "figures": _cmd_figures,
+        "analyze": _cmd_analyze,
+        "report": _cmd_report,
+        "tail": _cmd_tail,
         "ablation": _cmd_ablation,
         "calibrate": _cmd_calibrate,
         "probe": _cmd_probe,
         "run": _cmd_run,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `repro tail ... | head`
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ quantities an experimenter plots:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -131,12 +132,36 @@ def allocation_metrics(
     )
 
 
-def export_trace(tracer: Tracer, category: Optional[str] = None) -> str:
-    """Serialize trace records to JSON (optionally one category).
+def export_trace(records, category: Optional[str] = None) -> str:
+    """Serialize trace records to JSON.
 
-    Kept as the stable public API; the rendering itself lives with the
-    other exporters in :mod:`repro.telemetry.exporters` and the output
-    bytes are unchanged.
+    The rendering lives with the other exporters
+    (:func:`repro.telemetry.exporters.trace_records_json`); this is a
+    thin delegation kept for API stability. Pass the record sequence
+    directly (``export_trace(tracer.records)`` or a ``query(...)``
+    result).
+
+    .. deprecated::
+        Passing a :class:`~repro.des.Tracer` (with the optional
+        ``category=`` filter) is the old signature; it still works but
+        emits a :class:`DeprecationWarning`. Filter via
+        ``tracer.query(category=...)`` and pass the records instead.
     """
-    records = tracer.query(category=category) if category else tracer.records
+    if isinstance(records, Tracer):
+        warnings.warn(
+            "export_trace(tracer, category=...) is deprecated; pass the "
+            "records directly, e.g. export_trace(tracer.query(category=...))"
+            " or export_trace(tracer.records)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        tracer = records
+        records = (
+            tracer.query(category=category) if category else tracer.records
+        )
+    elif category is not None:
+        raise TypeError(
+            "category= is only meaningful with the deprecated Tracer "
+            "signature; filter the records before calling export_trace"
+        )
     return trace_records_json(records)

@@ -17,6 +17,7 @@ for the TTC decomposition.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -48,6 +49,8 @@ from .adaptive import AdaptationEvent, AdaptationPolicy, PilotReinforcer
 from .instrumentation import TTCDecomposition, decompose
 from .planner import PlannerConfig, derive_strategy
 from .strategy import ExecutionStrategy
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -161,6 +164,19 @@ class ExecutionReport:
             line += " [DEADLINE EXPIRED: partial result]"
         return line
 
+    def attribution(self):
+        """Causal TTC attribution + critical path for this execution.
+
+        Returns a :class:`repro.telemetry.causality.TTCAttribution`:
+        every virtual second of the run charged to exactly one component
+        (the partition sums to TTC by construction), plus the backward-
+        walked critical path. Derived from the entity state histories,
+        so it works whether or not telemetry was enabled.
+        """
+        from ..telemetry.causality import attribute_report
+
+        return attribute_report(self)
+
 
 class ExecutionError(Exception):
     """Raised when an execution cannot be set up."""
@@ -273,6 +289,7 @@ class ExecutionManager:
     ):
         t_start = self.sim.now
         app_name = skeleton.app.name
+        log.debug("enactment of %s starts at t=%.0f", app_name, t_start)
         self.sim.trace.record(t_start, "execution", app_name, "START")
         tel = self.sim.telemetry
         em_track = f"em/{app_name}"
@@ -591,4 +608,5 @@ class ExecutionManager:
             ),
         )
         self.reports.append(report)
+        log.info("%s", report.summary())
         return report

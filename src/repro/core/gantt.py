@@ -44,6 +44,12 @@ def _mark(row: List[str], t0: float, t1: float, lo: float, hi: float,
         row[i] = char
 
 
+#: one character per causal component on the critical-path row.
+_PATH_CHARS = {
+    "tw": "~", "tr": "^", "tx": "#", "ts": "s", "trp": "+", "idle": " ",
+}
+
+
 def render_timeline(
     pilots: Sequence[ComputePilot],
     units: Sequence[ComputeUnit],
@@ -53,12 +59,16 @@ def render_timeline(
     fault_log=None,
     health_log=None,
     em_steps: Optional[Sequence] = None,
+    critical_path: Optional[Sequence] = None,
 ) -> str:
     """Render one execution as an ASCII timeline.
 
     ``em_steps`` is an optional sequence of ``(name, t0, t1)`` rows —
     the enactment-step spans a telemetry-enabled run records — drawn as
-    one ``=`` bar per step above the pilot rows.
+    one ``=`` bar per step above the pilot rows. ``critical_path`` is an
+    optional sequence of :class:`repro.telemetry.causality.PathSegment`
+    rows, drawn as one final row with a per-component character
+    (``~`` Tw, ``^`` Tr, ``#`` Tx, ``s`` staging, ``+`` overhead).
     """
     if t_end <= t_start:
         raise ValueError("t_end must exceed t_start")
@@ -154,20 +164,40 @@ def render_timeline(
                 _mark(row, t0, t1, t_start, t_end, char)
             label = f"{f'breaker {target}':<{label_w}.{label_w}}"
             lines.append(f"{label} " + "".join(row))
+
+    # critical-path row: which component gated the run, instant by
+    # instant — the backward-walk chain rendered on the shared axis.
+    if critical_path:
+        row = _row(width)
+        for seg in critical_path:
+            char = _PATH_CHARS.get(seg.component, "?")
+            if char != " ":
+                _mark(row, seg.t0, seg.t1, t_start, t_end, char)
+        label_w = len(pilots[0].uid) + 18 if pilots else 20
+        label = f"{'critical path':<{label_w}}"
+        lines.append(f"{label} " + "".join(row))
+        lines.append("(path: ~ Tw  ^ Tr  # Tx  s staging  + overhead)")
     return "\n".join(lines)
 
 
-def render_report_timeline(report, width: int = 64) -> str:
+def render_report_timeline(
+    report, width: int = 64, critical_path: bool = True
+) -> str:
     """Convenience: timeline straight from an ExecutionReport.
 
     Executions run under fault injection also show a fault row (one
-    ``X`` per enacted fault inside the window).
+    ``X`` per enacted fault inside the window); by default the causal
+    critical path is computed and drawn as the final row.
     """
     d = report.decomposition
     tel = getattr(report, "telemetry", None)
+    path = None
+    if critical_path and d.t_end > d.t_start:
+        path = report.attribution().critical_path
     return render_timeline(
         report.pilots, report.units, d.t_start, d.t_end, width=width,
         fault_log=getattr(report, "fault_log", None),
         health_log=getattr(report, "health_log", None),
         em_steps=tel.em_steps if tel is not None else None,
+        critical_path=path,
     )

@@ -12,14 +12,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import Binding, PlannerConfig
 from ..skeleton import PAPER_TASK_COUNTS, SkeletonAPI, paper_skeleton
+from ..telemetry.causality import attribute_report
 from .environment import build_environment
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -76,10 +81,39 @@ class RunResult:
     #: SHA-256 over the repetition's telemetry/fault/health digests when
     #: the run was executed with ``collect_digests=True``; "" otherwise.
     digest: str = ""
+    #: exact partition of TTC by causal component, in
+    #: :data:`repro.telemetry.causality.COMPONENTS` order; the values
+    #: sum to ``ttc`` within 1e-9 by construction. Empty tuple for
+    #: campaign files written before the attribution engine existed.
+    attribution: Tuple[Tuple[str, float], ...] = ()
+    #: SHA-256 of the run's canonical attribution + critical path —
+    #: byte-identical across serial and parallel campaigns of one seed.
+    attribution_digest: str = ""
 
     @property
     def succeeded(self) -> bool:
         return self.units_done == self.n_tasks
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """One completed repetition, as delivered to ``on_progress``.
+
+    Replaces the old bare ``(done, total)`` callback arguments: consumers
+    see *which* cell finished, what it cost in wall time, and whether it
+    errored — enough to drive ETAs, ledgers, and live anomaly flags.
+    """
+
+    done: int
+    total: int
+    cell: Tuple[int, int, int]        # (exp_id, n_tasks, rep)
+    wall_s: float
+    error: Optional[str] = None       # CellError message; None on success
+    ttc: float = float("nan")
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass(frozen=True)
@@ -106,6 +140,10 @@ class CampaignResult:
     #: repetitions lost to worker crashes or per-cell exceptions; a
     #: healthy campaign has none.
     errors: List[CellError] = field(default_factory=list)
+    #: how the campaign was produced (seed, grid, reps) — persisted by
+    #: :mod:`repro.experiments.io` so post-hoc tools (``repro report``)
+    #: can re-derive any single repetition deterministically.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._index: Dict[Tuple[int, int], List[RunResult]] = {}
@@ -155,6 +193,56 @@ class CampaignResult:
         ]
 
 
+def run_cell_report(
+    spec: ExperimentSpec,
+    n_tasks: int,
+    rep: int = 0,
+    campaign_seed: int = 0,
+    resource_pool: Optional[Sequence[str]] = None,
+    min_warmup_s: float = 2 * 3600.0,
+    max_warmup_s: float = 12 * 3600.0,
+    telemetry: bool = False,
+):
+    """Execute one repetition; returns ``(report, env, resources)``.
+
+    The deterministic heart of :func:`run_single`, exposed separately so
+    post-hoc tools (``repro report``) can *replay* any repetition of a
+    saved campaign from its coordinates and recover the full
+    :class:`~repro.core.execution_manager.ExecutionReport` — critical
+    path included — without the campaign having stored it.
+    """
+    ss = np.random.SeedSequence(
+        entropy=campaign_seed, spawn_key=(spec.exp_id, n_tasks, rep)
+    )
+    seeds = ss.generate_state(3)
+    rng = np.random.default_rng(seeds[0])
+
+    env = build_environment(
+        seed=int(seeds[1]), resources=resource_pool,
+        telemetry=telemetry,
+    )
+    # Randomized submission instant (irregular intervals, paper §IV.A).
+    env.warm_up(float(rng.uniform(min_warmup_s, max_warmup_s)))
+
+    # Randomized resource choice and submission order (paper §IV.A).
+    pool_names = list(env.pool)
+    chosen = tuple(
+        rng.choice(pool_names, size=spec.n_pilots, replace=False)
+    )
+
+    skeleton = SkeletonAPI(
+        paper_skeleton(n_tasks, gaussian=spec.gaussian), seed=int(seeds[2])
+    )
+    config = PlannerConfig(
+        binding=spec.binding,
+        unit_scheduler=spec.unit_scheduler,
+        n_pilots=spec.n_pilots,
+        resources=chosen,
+    )
+    report = env.execution_manager.execute(skeleton, config)
+    return report, env, chosen
+
+
 def run_single(
     spec: ExperimentSpec,
     n_tasks: int,
@@ -177,36 +265,22 @@ def run_single(
     executions of the same cell (e.g. serial vs. parallel campaign)
     observed the identical simulated history.
     """
-    ss = np.random.SeedSequence(
-        entropy=campaign_seed, spawn_key=(spec.exp_id, n_tasks, rep)
-    )
-    seeds = ss.generate_state(3)
-    rng = np.random.default_rng(seeds[0])
-
-    env = build_environment(
-        seed=int(seeds[1]), resources=resource_pool,
+    report, env, chosen = run_cell_report(
+        spec, n_tasks, rep,
+        campaign_seed=campaign_seed,
+        resource_pool=resource_pool,
+        min_warmup_s=min_warmup_s,
+        max_warmup_s=max_warmup_s,
         telemetry=collect_digests,
     )
-    # Randomized submission instant (irregular intervals, paper §IV.A).
-    env.warm_up(float(rng.uniform(min_warmup_s, max_warmup_s)))
-
-    # Randomized resource choice and submission order (paper §IV.A).
-    pool_names = list(env.pool)
-    chosen = tuple(
-        rng.choice(pool_names, size=spec.n_pilots, replace=False)
-    )
-
-    skeleton = SkeletonAPI(
-        paper_skeleton(n_tasks, gaussian=spec.gaussian), seed=int(seeds[2])
-    )
-    config = PlannerConfig(
-        binding=spec.binding,
-        unit_scheduler=spec.unit_scheduler,
-        n_pilots=spec.n_pilots,
-        resources=chosen,
-    )
-    report = env.execution_manager.execute(skeleton, config)
     d = report.decomposition
+    # Causal attribution is derived from the entity histories alone, so
+    # it is available (and digest-stable) with or without telemetry.
+    att = attribute_report(report)
+    log.debug(
+        "cell exp=%d n=%d rep=%d: %s",
+        spec.exp_id, n_tasks, rep, att.summary(),
+    )
     digest = ""
     if collect_digests:
         payload = {
@@ -239,6 +313,8 @@ def run_single(
         restarts=d.restarts,
         events=int(env.sim.events_processed),
         digest=digest,
+        attribution=att.components,
+        attribution_digest=att.digest(),
     )
 
 
@@ -251,7 +327,8 @@ def run_campaign(
     verbose: bool = False,
     jobs: int = 1,
     collect_digests: bool = False,
-    on_progress: Optional[Callable[[int, int], None]] = None,
+    on_progress: Optional[Callable[[CellProgress], None]] = None,
+    ledger=None,
 ) -> CampaignResult:
     """Run the full experiment grid; returns all repetitions.
 
@@ -260,6 +337,11 @@ def run_campaign(
     independently from ``(campaign_seed, exp_id, n_tasks, rep)``, so the
     parallel campaign produces results identical to the serial one —
     see :mod:`repro.experiments.runner` for the determinism contract.
+
+    ``on_progress`` receives one :class:`CellProgress` per completed
+    repetition; ``ledger`` (a :class:`repro.experiments.ledger.RunLedger`)
+    streams the campaign's NDJSON run ledger in both serial and
+    parallel modes.
     """
     if jobs != 1:
         from .runner import run_parallel_campaign
@@ -274,19 +356,30 @@ def run_campaign(
             jobs=jobs,
             collect_digests=collect_digests,
             on_progress=on_progress,
+            ledger=ledger,
         )
-    result = CampaignResult()
+    meta = campaign_meta(
+        experiments=experiments, task_counts=task_counts, reps=reps,
+        campaign_seed=campaign_seed, resource_pool=resource_pool,
+    )
+    result = CampaignResult(meta=meta)
     total = len(list(experiments)) * len(list(task_counts)) * reps
+    log.info("serial campaign: %d cells, seed=%d", total, campaign_seed)
+    campaign_w0 = perf_counter()
+    if ledger is not None:
+        ledger.campaign_start(total, meta)
     for exp_id in experiments:
         spec = TABLE1[exp_id]
         for n_tasks in task_counts:
             for rep in range(reps):
+                w0 = perf_counter()
                 run = run_single(
                     spec, n_tasks, rep,
                     campaign_seed=campaign_seed,
                     resource_pool=resource_pool,
                     collect_digests=collect_digests,
                 )
+                wall = perf_counter() - w0
                 result.add(run)
                 if verbose:
                     print(
@@ -294,6 +387,36 @@ def run_campaign(
                         f"TTC={run.ttc:.0f}s Tw={run.tw:.0f}s "
                         f"done={run.units_done}/{n_tasks}"
                     )
+                progress = CellProgress(
+                    done=len(result.runs), total=total,
+                    cell=(exp_id, n_tasks, rep),
+                    wall_s=wall, ttc=run.ttc,
+                )
+                if ledger is not None:
+                    ledger.cell(progress, run=run)
                 if on_progress is not None:
-                    on_progress(len(result.runs), total)
+                    on_progress(progress)
+    if ledger is not None:
+        ledger.campaign_end(
+            len(result.runs), 0, perf_counter() - campaign_w0
+        )
     return result
+
+
+def campaign_meta(
+    experiments: Sequence[int],
+    task_counts: Sequence[int],
+    reps: int,
+    campaign_seed: int,
+    resource_pool: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The provenance dict a campaign carries in ``CampaignResult.meta``."""
+    return {
+        "experiments": [int(e) for e in experiments],
+        "task_counts": [int(n) for n in task_counts],
+        "reps": int(reps),
+        "campaign_seed": int(campaign_seed),
+        "resource_pool": (
+            list(resource_pool) if resource_pool is not None else None
+        ),
+    }

@@ -24,6 +24,8 @@ def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
     }
     if result.errors:
         out["errors"] = [dataclasses.asdict(err) for err in result.errors]
+    if result.meta:
+        out["meta"] = dict(result.meta)
     return out
 
 
@@ -43,9 +45,16 @@ def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
         # Files written before the parallel runner lack these fields.
         raw.setdefault("events", 0)
         raw.setdefault("digest", "")
+        # ... and files written before the attribution engine lack these.
+        raw.setdefault("attribution", ())
+        raw.setdefault("attribution_digest", "")
+        raw["attribution"] = tuple(
+            (str(name), float(value)) for name, value in raw["attribution"]
+        )
         result.add(RunResult(**raw))
     for raw in data.get("errors", ()):
         result.errors.append(CellError(**raw))
+    result.meta = dict(data.get("meta", ()))
     return result
 
 

@@ -1,0 +1,230 @@
+"""The campaign observatory's run ledger: streaming NDJSON, one event per line.
+
+A long campaign is opaque while it runs and forensically mute after it
+crashes; the ledger fixes both. The runner appends one JSON object per
+event — campaign start, every cell completion (coordinates, wall cost,
+worker pid, digests, anomaly flags), campaign end — flushing each line,
+so the file is valid and current at every instant: ``repro tail`` reads
+it live, post-hoc tools (``repro analyze``/``repro report``) read it
+after the fact, and a killed campaign leaves every completed cell on
+disk.
+
+Line kinds::
+
+    {"kind": "campaign-start", "total": 16, "meta": {...}, "wall": ...}
+    {"kind": "cell", "exp": 3, "n": 256, "rep": 1, "ok": true,
+     "wall_s": 0.41, "worker": 12345, "ttc": 5012.3,
+     "digest": "...", "attribution_digest": "...",
+     "anomalies": ["incomplete"], ...}
+    {"kind": "campaign-end", "completed": 15, "errors": 1, "wall_s": ...}
+
+Wall timestamps are operational metadata (they differ run to run); the
+deterministic content — coordinates, virtual-time results, digests — is
+what the sentinel and the tests consume.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import IO, Any, Dict, Iterable, List, Optional
+
+from .campaign import CellProgress, RunResult
+
+log = logging.getLogger(__name__)
+
+
+def flag_anomalies(run: RunResult) -> List[str]:
+    """Deterministic per-run anomaly flags for the ledger and reports."""
+    flags: List[str] = []
+    if run.units_done < run.n_tasks:
+        flags.append("incomplete")
+    if run.restarts:
+        flags.append("restarts")
+    if run.attribution:
+        by = dict(run.attribution)
+        if run.ttc > 0 and by.get("idle", 0.0) > 0.05 * run.ttc:
+            flags.append("idle-heavy")
+    return flags
+
+
+class RunLedger:
+    """Append-only NDJSON writer the campaign runner streams into."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    # -- record emitters -------------------------------------------------------
+
+    def campaign_start(self, total: int, meta: Dict[str, Any]) -> None:
+        self._emit({
+            "kind": "campaign-start",
+            "total": total,
+            "meta": meta,
+            "wall": time.time(),
+        })
+
+    def cell(
+        self,
+        progress: CellProgress,
+        run: Optional[RunResult] = None,
+        worker: Optional[int] = None,
+    ) -> None:
+        exp_id, n_tasks, rep = progress.cell
+        record: Dict[str, Any] = {
+            "kind": "cell",
+            "exp": exp_id,
+            "n": n_tasks,
+            "rep": rep,
+            "ok": progress.ok,
+            "done": progress.done,
+            "total": progress.total,
+            "wall_s": progress.wall_s,
+            "wall": time.time(),
+        }
+        if worker is not None:
+            record["worker"] = worker
+        if run is not None:
+            record.update(
+                ttc=run.ttc,
+                units_done=run.units_done,
+                events=run.events,
+                digest=run.digest,
+                attribution_digest=run.attribution_digest,
+                anomalies=flag_anomalies(run),
+            )
+        if progress.error is not None:
+            record["error"] = progress.error
+            record["anomalies"] = ["error"]
+        self._emit(record)
+
+    def campaign_end(
+        self, completed: int, errors: int, wall_s: float
+    ) -> None:
+        self._emit({
+            "kind": "campaign-end",
+            "completed": completed,
+            "errors": errors,
+            "wall_s": wall_s,
+            "wall": time.time(),
+        })
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:  # pragma: no cover - defensive
+            log.warning("ledger %s already closed; record dropped", self.path)
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- reading side --------------------------------------------------------------
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """Parse an NDJSON ledger; tolerates a torn trailing line (live file)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # a writer mid-line; everything before it is intact.
+                log.debug("torn ledger line ignored: %.40s...", line)
+                break
+    return records
+
+
+def ledger_progress(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold ledger records into one progress snapshot."""
+    total = 0
+    done = 0
+    errors = 0
+    anomalies: List[Dict[str, Any]] = []
+    wall_spent = 0.0
+    cell_walls: List[float] = []
+    finished = False
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "campaign-start":
+            total = int(rec.get("total", 0))
+        elif kind == "cell":
+            done += 1
+            if not rec.get("ok", False):
+                errors += 1
+            if rec.get("anomalies"):
+                anomalies.append(rec)
+            w = float(rec.get("wall_s", 0.0))
+            wall_spent += w
+            cell_walls.append(w)
+        elif kind == "campaign-end":
+            finished = True
+    mean_wall = wall_spent / done if done else 0.0
+    remaining = max(0, total - done)
+    return {
+        "total": total,
+        "done": done,
+        "errors": errors,
+        "finished": finished,
+        "anomalies": anomalies,
+        "wall_spent_s": wall_spent,
+        "eta_s": mean_wall * remaining,
+    }
+
+
+def render_tail(records: List[Dict[str, Any]], last: int = 8) -> str:
+    """Human-readable snapshot of a (possibly still running) campaign."""
+    snap = ledger_progress(records)
+    total, done = snap["total"], snap["done"]
+    frac = done / total if total else 0.0
+    bar_w = 32
+    fill = int(round(bar_w * min(1.0, frac)))
+    state = "finished" if snap["finished"] else "running"
+    lines = [
+        f"campaign {state}: [{'#' * fill}{'.' * (bar_w - fill)}] "
+        f"{done}/{total} cells"
+        + (f", {snap['errors']} errors" if snap["errors"] else "")
+        + (
+            f", ETA {snap['eta_s']:.0f}s"
+            if not snap["finished"] and done else ""
+        ),
+    ]
+    cells = [r for r in records if r.get("kind") == "cell"]
+    for rec in cells[-last:]:
+        mark = "ok " if rec.get("ok") else "ERR"
+        extra = ""
+        if rec.get("anomalies"):
+            extra = "  !" + ",".join(rec["anomalies"])
+        ttc = rec.get("ttc")
+        ttc_s = f" TTC={ttc:.0f}s" if isinstance(ttc, (int, float)) else ""
+        lines.append(
+            f"  {mark} exp{rec.get('exp', '?')} n={rec.get('n', '?')}"
+            f" rep={rec.get('rep', '?')}"
+            f"{ttc_s} wall={rec.get('wall_s', 0.0):.2f}s"
+            f" w{rec.get('worker', '-')}{extra}"
+        )
+    for rec in snap["anomalies"]:
+        if rec not in cells[-last:]:
+            lines.append(
+                f"  !  exp{rec.get('exp', '?')} n={rec.get('n', '?')}"
+                f" rep={rec.get('rep', '?')}: "
+                + ",".join(rec.get("anomalies", ()))
+            )
+    return "\n".join(lines)

@@ -48,6 +48,7 @@ reports them as errors.
 from __future__ import annotations
 
 import importlib
+import logging
 import os
 import time
 from concurrent.futures import as_completed, ProcessPoolExecutor
@@ -60,9 +61,14 @@ from .campaign import (
     TABLE1,
     CampaignResult,
     CellError,
+    CellProgress,
     RunResult,
+    campaign_meta,
     run_single,
 )
+from .ledger import RunLedger
+
+log = logging.getLogger(__name__)
 
 #: One repetition's coordinates in the campaign grid.
 Cell = Tuple[int, int, int]  # (exp_id, n_tasks, rep)
@@ -158,22 +164,26 @@ def _run_chunk(
     resource_pool: Optional[Tuple[str, ...]],
     collect_digests: bool,
     run_fn_path: Optional[str],
-) -> List[Tuple[str, Cell, object]]:
+) -> List[Tuple[str, Cell, object, dict]]:
     """Worker entry point: run every cell of one chunk.
 
     Exceptions are contained per cell — one failing repetition costs
-    that repetition, not the chunk and not the campaign.
+    that repetition, not the chunk and not the campaign. Each row
+    carries a meta dict with the cell's wall time and the worker's pid,
+    feeding the run ledger and progress callbacks.
     """
     run_fn = _resolve_run_fn(run_fn_path)
-    out: List[Tuple[str, Cell, object]] = []
+    pid = os.getpid()
+    out: List[Tuple[str, Cell, object, dict]] = []
     for cell in chunk:
+        w0 = time.perf_counter()
         try:
-            out.append(
-                ("ok", cell,
-                 run_fn(cell, campaign_seed, resource_pool, collect_digests))
-            )
+            run = run_fn(cell, campaign_seed, resource_pool, collect_digests)
+            meta = {"wall_s": time.perf_counter() - w0, "worker": pid}
+            out.append(("ok", cell, run, meta))
         except Exception as exc:  # noqa: BLE001 - containment boundary
-            out.append(("error", cell, f"{type(exc).__name__}: {exc}"))
+            meta = {"wall_s": time.perf_counter() - w0, "worker": pid}
+            out.append(("error", cell, f"{type(exc).__name__}: {exc}", meta))
     return out
 
 
@@ -204,7 +214,7 @@ def _execute_chunks(
     jobs: int,
     worker_args: Tuple,
     stats: RunnerStats,
-    on_cell: Callable[[str, Cell, object], None],
+    on_cell: Callable[[str, Cell, object, dict], None],
 ) -> None:
     """Drive chunks to completion, surviving worker crashes.
 
@@ -226,13 +236,17 @@ def _execute_chunks(
             for fut in as_completed(futures):
                 chunk = futures[fut]
                 try:
-                    for status, cell, payload in fut.result():
-                        on_cell(status, cell, payload)
+                    for status, cell, payload, meta in fut.result():
+                        on_cell(status, cell, payload, meta)
                 except BrokenProcessPool:
                     broken.append(chunk)
         if not broken:
             return
         stats.pool_restarts += 1
+        log.warning(
+            "worker pool broke; retrying %d chunk(s) solo in a fresh pool",
+            len(broken),
+        )
         retry: List[List[Cell]] = []
         for chunk in broken:
             for cell in chunk:
@@ -245,6 +259,7 @@ def _execute_chunks(
                         "error", cell,
                         "worker process crashed while running this "
                         "repetition (twice in isolation)",
+                        {"wall_s": 0.0, "worker": None},
                     )
                 else:
                     retry.append([cell])
@@ -260,9 +275,10 @@ def run_parallel_campaign(
     verbose: bool = False,
     jobs: int = 0,
     collect_digests: bool = False,
-    on_progress: Optional[Callable[[int, int], None]] = None,
+    on_progress: Optional[Callable[[CellProgress], None]] = None,
     run_fn: Optional[str] = None,
     stats: Optional[RunnerStats] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> CampaignResult:
     """Run the experiment grid on ``jobs`` worker processes.
 
@@ -272,9 +288,13 @@ def run_parallel_campaign(
     to worker crashes appear in ``result.errors`` instead of killing
     the campaign.
 
-    ``run_fn`` names a ``module:attr`` replacement for the per-cell
-    execution function (used by the crash-containment tests).
-    ``stats``, when given, is filled with aggregated runner telemetry.
+    ``on_progress`` receives one :class:`CellProgress` per completed
+    repetition (coordinates, wall cost, error status). ``ledger``, when
+    given, streams the campaign's NDJSON run ledger (see
+    :mod:`repro.experiments.ledger`). ``run_fn`` names a
+    ``module:attr`` replacement for the per-cell execution function
+    (used by the crash-containment tests). ``stats``, when given, is
+    filled with aggregated runner telemetry.
     """
     t0 = time.perf_counter()
     jobs = resolve_jobs(jobs)
@@ -290,22 +310,37 @@ def run_parallel_campaign(
     stats.jobs = jobs
     stats.cells = len(grid)
 
+    meta = campaign_meta(
+        experiments=experiments, task_counts=task_counts, reps=reps,
+        campaign_seed=campaign_seed, resource_pool=resource_pool,
+    )
+    log.info(
+        "parallel campaign: %d cells on %d worker(s), seed=%d",
+        len(grid), jobs, campaign_seed,
+    )
+    if ledger is not None:
+        ledger.campaign_start(len(grid), meta)
+
     pool_arg = tuple(resource_pool) if resource_pool is not None else None
     results: Dict[Cell, RunResult] = {}
     errors: Dict[Cell, str] = {}
 
-    def on_cell(status: str, cell: Cell, payload: object) -> None:
+    def on_cell(status: str, cell: Cell, payload: object, cmeta: dict) -> None:
+        run: Optional[RunResult] = None
+        error: Optional[str] = None
         if status == "ok":
-            results[cell] = payload  # type: ignore[assignment]
+            run = payload  # type: ignore[assignment]
+            results[cell] = run
             stats.completed += 1
             stats.events += getattr(payload, "events", 0)
         else:
-            errors[cell] = str(payload)
+            error = str(payload)
+            errors[cell] = error
             stats.errors += 1
+            log.warning("cell %s failed: %s", cell, error)
         if verbose:
             exp_id, n_tasks, rep = cell
-            if status == "ok":
-                run = payload
+            if run is not None:
                 print(
                     f"{TABLE1[exp_id].label} n={n_tasks} rep={rep}: "
                     f"TTC={run.ttc:.0f}s Tw={run.tw:.0f}s "
@@ -316,18 +351,25 @@ def run_parallel_campaign(
                     f"{TABLE1[exp_id].label} n={n_tasks} rep={rep}: "
                     f"ERROR {payload}"
                 )
+        progress = CellProgress(
+            done=len(results) + len(errors), total=len(grid),
+            cell=cell, wall_s=float(cmeta.get("wall_s", 0.0)),
+            error=error, ttc=run.ttc if run is not None else float("nan"),
+        )
+        if ledger is not None:
+            ledger.cell(progress, run=run, worker=cmeta.get("worker"))
         if on_progress is not None:
-            on_progress(len(results) + len(errors), len(grid))
+            on_progress(progress)
 
     if jobs <= 1 or len(grid) <= 1:
         # Single worker: run in-process. Same code path as the serial
         # campaign, same results; no pool overhead, and it keeps
         # ``--jobs 1`` usable on machines where fork is unavailable.
         for cell in grid:
-            for status, c, payload in _run_chunk(
+            for status, c, payload, cmeta in _run_chunk(
                 [cell], campaign_seed, pool_arg, collect_digests, run_fn
             ):
-                on_cell(status, c, payload)
+                on_cell(status, c, payload, cmeta)
         stats.chunks = len(grid)
     else:
         chunks = plan_chunks(grid, jobs)
@@ -340,7 +382,7 @@ def run_parallel_campaign(
 
     # Re-assemble in grid order: deterministic, independent of worker
     # completion order.
-    out = CampaignResult()
+    out = CampaignResult(meta=meta)
     for cell in grid:
         if cell in results:
             out.add(results[cell])
@@ -349,6 +391,12 @@ def run_parallel_campaign(
         else:  # pragma: no cover - defensive; every cell resolves above
             out.errors.append(CellError(*cell, error="repetition lost"))
     stats.wall_s = time.perf_counter() - t0
+    if ledger is not None:
+        ledger.campaign_end(stats.completed, stats.errors, stats.wall_s)
+    log.info(
+        "campaign done: %d ok, %d errors, %.1fs wall",
+        stats.completed, stats.errors, stats.wall_s,
+    )
     return out
 
 

@@ -1,0 +1,81 @@
+"""Logging setup for the repro library and CLI.
+
+Every module in :mod:`repro` gets its logger the stdlib way::
+
+    log = logging.getLogger(__name__)
+
+and emits under the ``repro.*`` hierarchy. Nothing is configured at
+import time — as a library, repro stays silent unless the embedding
+application configures logging. The CLI opts in via
+:func:`setup_logging`, mapped from ``-v/--verbose`` (repeatable) and
+``--log-file``:
+
+* default      — WARNING and up on stderr;
+* ``-v``       — INFO on stderr (campaign milestones, run summaries);
+* ``-vv``      — DEBUG on stderr (per-cell attribution, enactment steps);
+* ``--log-file FILE`` — everything at DEBUG to FILE, regardless of the
+  stderr verbosity, so a quiet terminal still leaves a full trail.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Optional
+
+#: the root of the library's logger hierarchy.
+ROOT = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: marker attribute distinguishing our handlers from the embedder's.
+_MARK = "_repro_logutil"
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a stdlib level."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(
+    verbosity: int = 0,
+    log_file: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy for CLI use.
+
+    Idempotent: handlers installed by a previous call are replaced, not
+    stacked, so repeated invocations (tests calling ``main()`` in a
+    loop) never multiply output. Returns the root ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT)
+    for handler in [
+        h for h in logger.handlers if getattr(h, _MARK, False)
+    ]:
+        logger.removeHandler(handler)
+        handler.close()
+
+    stream_level = verbosity_level(verbosity)
+    sh = logging.StreamHandler(stream)  # None -> sys.stderr at emit time
+    sh.setLevel(stream_level)
+    sh.setFormatter(logging.Formatter(_FORMAT))
+    setattr(sh, _MARK, True)
+    logger.addHandler(sh)
+
+    effective = stream_level
+    if log_file:
+        fh = logging.FileHandler(log_file, encoding="utf-8")
+        fh.setLevel(logging.DEBUG)
+        fh.setFormatter(logging.Formatter(_FORMAT))
+        setattr(fh, _MARK, True)
+        logger.addHandler(fh)
+        effective = logging.DEBUG
+
+    logger.setLevel(effective)
+    # the CLI owns the hierarchy while it runs; don't double-emit
+    # through the (possibly configured) root logger.
+    logger.propagate = False
+    return logger

@@ -16,7 +16,15 @@ those instruments report to:
   in Perfetto), OTLP-style JSON spans, and the legacy flat trace dump;
 * :mod:`~repro.telemetry.digest` — the canonical-JSON/SHA-256 contract
   shared by the fault log, the health-event log, and the telemetry hub,
-  so every record stream is byte-reproducible under a fixed seed.
+  so every record stream is byte-reproducible under a fixed seed;
+* :mod:`~repro.telemetry.causality` — the causal analysis layer:
+  reconstructs an activity graph from recorded state histories, walks
+  the critical path backward through each run's TTC, and attributes
+  every virtual second to exactly one component (the partition sums to
+  TTC by construction and digests byte-stably per seed);
+* :mod:`~repro.telemetry.report` — self-contained HTML reports (inline
+  CSS + SVG, no scripts, no external references) for the attribution
+  breakdown, critical path, queue-wait distributions, and anomalies.
 
 Every :class:`~repro.des.Simulation` owns a disabled-by-default
 :class:`TelemetryHub` (``sim.telemetry``); enabling it turns the
@@ -27,6 +35,17 @@ This package deliberately imports nothing from the rest of :mod:`repro`,
 so every layer (including the DES kernel itself) can depend on it.
 """
 
+from .causality import (
+    COMPONENTS,
+    CausalGraph,
+    PathSegment,
+    TTCAttribution,
+    attribute,
+    attribute_report,
+    build_graph,
+    critical_path,
+    sweep_attribution,
+)
 from .digest import canonical_json, sha256_digest
 from .exporters import (
     chrome_trace,
@@ -38,23 +57,35 @@ from .exporters import (
 from .hub import TelemetryHub, TelemetrySummary
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import KernelProfiler
+from .report import render_html, save_html
 from .spans import Span, UnclosedSpanError
 
 __all__ = [
+    "COMPONENTS",
+    "CausalGraph",
     "Counter",
     "Gauge",
     "Histogram",
     "KernelProfiler",
     "MetricsRegistry",
+    "PathSegment",
     "Span",
+    "TTCAttribution",
     "TelemetryHub",
     "TelemetrySummary",
     "UnclosedSpanError",
+    "attribute",
+    "attribute_report",
+    "build_graph",
     "canonical_json",
     "chrome_trace",
+    "critical_path",
     "otlp_trace",
+    "render_html",
     "save_chrome_trace",
+    "save_html",
     "save_otlp_trace",
     "sha256_digest",
+    "sweep_attribution",
     "trace_records_json",
 ]

@@ -170,3 +170,101 @@ class TestCLI:
 
         session = load_session(str(path))
         assert session.n_tasks == 8
+
+
+class TestObservatoryCLI:
+    """analyze / report / tail — the observability loop end to end."""
+
+    @pytest.fixture(scope="class")
+    def campaign_file(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("observatory")
+        path = tmp / "campaign.json"
+        ledger = tmp / "campaign.ndjson"
+        rc = main([
+            "campaign", "--experiments", "1", "3", "--sizes", "8",
+            "--reps", "2", "--seed", "2016", "-q",
+            "-o", str(path), "--ledger", str(ledger),
+        ])
+        assert rc == 0
+        return path, ledger
+
+    def test_analyze_needs_a_baseline(self, campaign_file, tmp_path, capsys):
+        path, _ = campaign_file
+        baseline = tmp_path / "bench.json"
+        rc = main(["analyze", str(path), "--baseline", str(baseline)])
+        assert rc == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+    def test_analyze_update_then_clean_pass(
+        self, campaign_file, tmp_path, capsys
+    ):
+        path, _ = campaign_file
+        baseline = tmp_path / "bench.json"
+        baseline.write_text(json.dumps({"other-bench": {"keep": 1}}))
+        rc = main([
+            "analyze", str(path), "--baseline", str(baseline),
+            "--update-baseline",
+        ])
+        assert rc == 0
+        merged = json.loads(baseline.read_text())
+        assert merged["other-bench"] == {"keep": 1}  # merge, not clobber
+        assert "campaign-attribution" in merged
+        capsys.readouterr()
+        rc = main(["analyze", str(path), "--baseline", str(baseline)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+        assert "dominant" in out
+
+    def test_analyze_flags_injected_tw_regression(
+        self, campaign_file, tmp_path, capsys
+    ):
+        path, _ = campaign_file
+        baseline = tmp_path / "bench.json"
+        assert main([
+            "analyze", str(path), "--baseline", str(baseline),
+            "--update-baseline",
+        ]) == 0
+        doc = json.loads(path.read_text())
+        for run in doc["runs"]:  # inject a 25% queue-wait regression
+            att = dict(run["attribution"])
+            grown = att["tw"] * 1.25 + 100.0
+            run["ttc"] += grown - att["tw"]
+            att["tw"] = grown
+            run["attribution"] = [[k, v] for k, v in att.items()]
+            run["tw"] = grown
+        bad = tmp_path / "regressed.json"
+        bad.write_text(json.dumps(doc))
+        capsys.readouterr()
+        rc = main(["analyze", str(bad), "--baseline", str(baseline)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "DRIFT" in err and "tw" in err
+
+    def test_report_is_self_contained_html(
+        self, campaign_file, tmp_path, capsys
+    ):
+        path, ledger = campaign_file
+        out_html = tmp_path / "report.html"
+        rc = main([
+            "report", str(path), "-o", str(out_html),
+            "--ledger", str(ledger),
+        ])
+        assert rc == 0
+        html = out_html.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html.lower()
+        assert "http://" not in html and "https://" not in html
+        assert "Critical path" in html
+        assert "Tw (queue wait)" in html
+
+    def test_tail_renders_the_ledger(self, campaign_file, capsys):
+        _, ledger = campaign_file
+        rc = main(["tail", str(ledger)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "4/4" in out
+
+    def test_tail_missing_ledger(self, tmp_path, capsys):
+        rc = main(["tail", str(tmp_path / "nope.ndjson")])
+        assert rc == 2

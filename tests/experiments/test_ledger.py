@@ -1,0 +1,155 @@
+"""The campaign observatory: NDJSON run ledger, progress, and tail view."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    CellProgress,
+    RunLedger,
+    flag_anomalies,
+    ledger_progress,
+    read_ledger,
+    render_tail,
+    run_campaign,
+)
+from repro.experiments.campaign import RunResult
+
+
+def _run(**over):
+    base = dict(
+        exp_id=1, n_tasks=8, rep=0, resources=("stampede-sim",),
+        ttc=1000.0, tw=100.0, tw_last=100.0, tx=800.0, ts=50.0, trp=50.0,
+        pilot_waits=(100.0,), units_done=8, restarts=0, events=500,
+        attribution=(
+            ("tw", 100.0), ("tr", 0.0), ("tx", 800.0),
+            ("ts", 50.0), ("trp", 40.0), ("idle", 10.0),
+        ),
+        attribution_digest="ab" * 32,
+    )
+    base.update(over)
+    return RunResult(**base)
+
+
+class TestFlagAnomalies:
+    def test_clean_run_has_no_flags(self):
+        assert flag_anomalies(_run()) == []
+
+    def test_incomplete_and_restarts(self):
+        flags = flag_anomalies(_run(units_done=5, restarts=2))
+        assert "incomplete" in flags and "restarts" in flags
+
+    def test_idle_heavy(self):
+        run = _run(attribution=(
+            ("tw", 100.0), ("tr", 0.0), ("tx", 700.0),
+            ("ts", 50.0), ("trp", 40.0), ("idle", 110.0),
+        ))
+        assert "idle-heavy" in flag_anomalies(run)
+
+
+class TestRunLedger:
+    def test_stream_and_read_back(self, tmp_path):
+        path = str(tmp_path / "campaign.ndjson")
+        with RunLedger(path) as ledger:
+            ledger.campaign_start(total=2, meta={"seed": 7})
+            ledger.cell(
+                CellProgress(1, 2, (1, 8, 0), wall_s=0.5, ttc=1000.0),
+                run=_run(), worker=123,
+            )
+            ledger.cell(
+                CellProgress(2, 2, (1, 8, 1), wall_s=0.4,
+                             error="boom"),
+            )
+            ledger.campaign_end(completed=1, errors=1, wall_s=0.9)
+        records = read_ledger(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["campaign-start", "cell", "cell", "campaign-end"]
+        ok_cell = records[1]
+        assert ok_cell["ok"] and ok_cell["worker"] == 123
+        assert ok_cell["attribution_digest"] == "ab" * 32
+        bad_cell = records[2]
+        assert not bad_cell["ok"] and bad_cell["error"] == "boom"
+        assert bad_cell["anomalies"] == ["error"]
+
+    def test_lines_are_valid_ndjson(self, tmp_path):
+        path = str(tmp_path / "l.ndjson")
+        with RunLedger(path) as ledger:
+            ledger.campaign_start(total=1, meta={})
+        for line in open(path, encoding="utf-8"):
+            json.loads(line)
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "l.ndjson")
+        with RunLedger(path) as ledger:
+            ledger.campaign_start(total=4, meta={})
+            ledger.cell(CellProgress(1, 4, (1, 8, 0), wall_s=0.1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cell", "exp": 1, "n": 8,')  # writer mid-line
+        records = read_ledger(path)
+        assert [r["kind"] for r in records] == ["campaign-start", "cell"]
+
+
+class TestLedgerProgress:
+    def _records(self):
+        return [
+            {"kind": "campaign-start", "total": 4},
+            {"kind": "cell", "ok": True, "wall_s": 2.0},
+            {"kind": "cell", "ok": False, "wall_s": 1.0,
+             "anomalies": ["error"]},
+        ]
+
+    def test_progress_snapshot(self):
+        snap = ledger_progress(self._records())
+        assert snap["total"] == 4 and snap["done"] == 2
+        assert snap["errors"] == 1 and not snap["finished"]
+        assert snap["eta_s"] == pytest.approx(1.5 * 2)
+        assert len(snap["anomalies"]) == 1
+
+    def test_finished_campaign(self):
+        records = self._records() + [
+            {"kind": "cell", "ok": True, "wall_s": 1.0},
+            {"kind": "cell", "ok": True, "wall_s": 1.0},
+            {"kind": "campaign-end", "completed": 3, "errors": 1,
+             "wall_s": 5.0},
+        ]
+        snap = ledger_progress(records)
+        assert snap["finished"] and snap["done"] == 4
+        assert snap["eta_s"] == 0.0
+
+    def test_render_tail(self):
+        text = render_tail(self._records())
+        assert "2/4" in text
+        assert "running" in text
+
+
+class TestEndToEnd:
+    def test_campaign_streams_a_ledger(self, tmp_path):
+        path = str(tmp_path / "c.ndjson")
+        with RunLedger(path) as ledger:
+            result = run_campaign(
+                experiments=(3,), task_counts=(8,), reps=2,
+                campaign_seed=21, ledger=ledger,
+            )
+        records = read_ledger(path)
+        cells = [r for r in records if r["kind"] == "cell"]
+        assert len(cells) == len(result.runs) == 2
+        assert records[0]["kind"] == "campaign-start"
+        assert records[0]["meta"]["campaign_seed"] == 21
+        assert records[-1]["kind"] == "campaign-end"
+        for rec, run in zip(cells, result.runs):
+            assert rec["attribution_digest"] == run.attribution_digest
+            assert rec["ttc"] == run.ttc
+        assert "finished" in render_tail(records)
+
+    def test_parallel_campaign_streams_a_ledger(self, tmp_path):
+        path = str(tmp_path / "p.ndjson")
+        with RunLedger(path) as ledger:
+            result = run_campaign(
+                experiments=(3,), task_counts=(8,), reps=2,
+                campaign_seed=21, jobs=2, ledger=ledger,
+            )
+        records = read_ledger(path)
+        cells = [r for r in records if r["kind"] == "cell"]
+        assert len(cells) == len(result.runs) == 2
+        assert all("worker" in rec for rec in cells)
+        assert ledger_progress(records)["finished"]

@@ -180,12 +180,17 @@ class TestContainment:
         seen = []
         result = run_parallel_campaign(
             jobs=2, run_fn="tests.experiments.test_runner:_fake_run",
-            on_progress=lambda done, total: seen.append((done, total)),
+            on_progress=seen.append,
             **self.GRID_KW,
         )
         assert len(result.runs) == 4
-        assert seen[-1] == (4, 4)
-        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+        assert seen[-1].done == 4 and seen[-1].total == 4
+        assert [p.done for p in seen] == sorted(p.done for p in seen)
+        assert {p.cell for p in seen} == {
+            (1, 8, 0), (1, 8, 1), (1, 16, 0), (1, 16, 1),
+        }
+        assert all(p.ok and p.error is None for p in seen)
+        assert all(p.wall_s >= 0 for p in seen)
 
     def test_results_in_grid_order_regardless_of_completion(self):
         result = run_parallel_campaign(

@@ -96,7 +96,8 @@ def test_otlp_trace_shape(telemetered_run, tmp_path):
 
 def test_export_trace_shim_still_serves_tracer_records(telemetered_run):
     env, _ = telemetered_run
-    doc = json.loads(export_trace(env.sim.trace, category="pilot"))
+    with pytest.warns(DeprecationWarning):
+        doc = json.loads(export_trace(env.sim.trace, category="pilot"))
     assert doc and all(rec["category"] == "pilot" for rec in doc)
     assert {"time", "category", "entity", "event", "data"} <= set(doc[0])
 

@@ -1,0 +1,101 @@
+"""HTML report: self-contained, escaped, and faithful to the data."""
+
+import re
+
+import pytest
+
+from repro.telemetry import render_html, save_html
+
+
+def _data():
+    return {
+        "title": "Campaign <2016>",
+        "subtitle": "experiments (1, 3), sizes (8, 16)",
+        "summary": [("runs", 8), ("errors", 0), ("digest", "ab" * 32)],
+        "cells": [
+            {
+                "label": "exp1 n=8", "ttc": 1000.0,
+                "shares": {"tw": 0.1, "tr": 0.0, "tx": 0.8,
+                           "ts": 0.05, "trp": 0.04, "idle": 0.01},
+            },
+            {
+                "label": "exp3 n=8", "ttc": 800.0,
+                "shares": {"tw": 0.05, "tr": 0.0, "tx": 0.85,
+                           "ts": 0.05, "trp": 0.05, "idle": 0.0},
+            },
+        ],
+        "critical_path": [
+            {"t0": 0.0, "t1": 100.0, "component": "tw",
+             "label": "pilot.0001 queue-wait"},
+            {"t0": 100.0, "t1": 1000.0, "component": "tx",
+             "label": "unit.0005 executing"},
+        ],
+        "tw_by_resource": {"stampede-sim": [100.0, 120.0, 90.0]},
+        "anomalies": [
+            {"kind": "ttc-outlier", "cell": "1:8",
+             "detail": "rep 3 TTC 9000s", "z": 4.2},
+        ],
+        "drift": [
+            {"cell": "1:8", "metric": "tw_mean",
+             "baseline": 100.0, "current": 130.0, "rel_change": 0.3},
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def html():
+    return render_html(_data())
+
+
+class TestSelfContainment:
+    def test_no_scripts(self, html):
+        assert "<script" not in html.lower()
+
+    def test_no_external_references(self, html):
+        assert "http://" not in html and "https://" not in html
+        assert not re.search(r'\bsrc\s*=', html)
+        assert "<link" not in html.lower()
+        assert "@import" not in html
+
+    def test_single_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        assert html.count("<html") == 1
+
+    def test_inline_styling_and_svg(self, html):
+        assert "<style>" in html
+        assert "<svg" in html
+
+
+class TestContent:
+    def test_title_is_escaped(self, html):
+        assert "Campaign &lt;2016&gt;" in html
+        assert "Campaign <2016>" not in html
+
+    def test_sections_render(self, html):
+        for heading in (
+            "Summary", "TTC attribution by cell", "Critical path",
+            "Queue-wait distributions by resource", "Anomalies",
+            "Baseline comparison",
+        ):
+            assert heading in html
+
+    def test_cells_and_path_appear(self, html):
+        assert "exp1 n=8" in html and "exp3 n=8" in html
+        assert "queue-wait" in html
+        assert "Tw (queue wait)" in html
+
+    def test_anomaly_and_drift_rows(self, html):
+        assert "ttc-outlier" in html
+        assert "tw_mean" in html
+
+    def test_empty_data_still_renders(self):
+        doc = render_html({})
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "Anomalies" in doc
+
+
+def test_save_html(tmp_path):
+    path = tmp_path / "report.html"
+    save_html(_data(), str(path))
+    assert path.read_text(encoding="utf-8") == render_html(_data())

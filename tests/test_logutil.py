@@ -1,0 +1,83 @@
+"""CLI logging setup: verbosity mapping, idempotence, file handler."""
+
+import io
+import logging
+
+import pytest
+
+from repro.logutil import ROOT, setup_logging, verbosity_level
+
+
+@pytest.fixture(autouse=True)
+def _pristine_hierarchy():
+    yield
+    # leave the hierarchy as the library default: unconfigured.
+    logger = logging.getLogger(ROOT)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+        handler.close()
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+class TestVerbosityLevel:
+    def test_mapping(self):
+        assert verbosity_level(0) == logging.WARNING
+        assert verbosity_level(1) == logging.INFO
+        assert verbosity_level(2) == logging.DEBUG
+        assert verbosity_level(5) == logging.DEBUG
+        assert verbosity_level(-1) == logging.WARNING
+
+
+class TestSetupLogging:
+    def test_default_is_warning_only(self):
+        buf = io.StringIO()
+        setup_logging(0, stream=buf)
+        log = logging.getLogger("repro.test_logutil")
+        log.info("quiet")
+        log.warning("loud")
+        out = buf.getvalue()
+        assert "quiet" not in out and "loud" in out
+
+    def test_verbose_shows_info(self):
+        buf = io.StringIO()
+        setup_logging(1, stream=buf)
+        logging.getLogger("repro.test_logutil").info("milestone")
+        assert "milestone" in buf.getvalue()
+        assert "repro.test_logutil" in buf.getvalue()
+
+    def test_repeated_setup_does_not_stack_handlers(self):
+        buf = io.StringIO()
+        for _ in range(3):
+            setup_logging(1, stream=buf)
+        logging.getLogger("repro.test_logutil").info("once")
+        assert buf.getvalue().count("once") == 1
+
+    def test_log_file_gets_debug_regardless_of_verbosity(self, tmp_path):
+        path = tmp_path / "run.log"
+        buf = io.StringIO()
+        setup_logging(0, log_file=str(path), stream=buf)
+        logging.getLogger("repro.test_logutil").debug("detail")
+        assert "detail" in path.read_text(encoding="utf-8")
+        assert "detail" not in buf.getvalue()
+
+    def test_no_propagation_to_root(self):
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        root_handler = Capture()
+        logging.getLogger().addHandler(root_handler)
+        try:
+            setup_logging(1, stream=io.StringIO())
+            logging.getLogger("repro.test_logutil").info("local")
+            assert not records
+        finally:
+            logging.getLogger().removeHandler(root_handler)
+
+    def test_library_is_silent_without_setup(self):
+        # a bare import must not configure anything (library etiquette).
+        logger = logging.getLogger(ROOT)
+        assert logger.handlers == []
