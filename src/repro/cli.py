@@ -11,6 +11,12 @@ Usage::
     python -m repro analyze campaign.json --baseline benchmarks/BENCH_campaign.json
     python -m repro report campaign.json -o report.html
     python -m repro tail campaign.ndjson
+    python -m repro campaign --reps 4 --store campaign.sqlite
+    python -m repro migrate campaign_2016.json campaign.sqlite
+
+``analyze``, ``figures``, ``report``, and ``tail`` accept either a
+legacy campaign JSON artifact or an indexed sqlite store (the file
+format is sniffed).
 
 Global flags: ``-v/--verbose`` (repeatable: INFO, then DEBUG) and
 ``--log-file FILE`` (full DEBUG trail regardless of terminal verbosity).
@@ -30,23 +36,29 @@ import os
 from .cluster import PRESETS
 from .core import Binding, PlannerConfig, RecoveryPolicy
 from .experiments import (
+    CampaignStore,
     CellProgress,
     RunLedger,
     binding_rationale_study,
     build_environment,
     campaign_fingerprint,
+    campaign_fingerprint_from_store,
     compare_fingerprints,
     data_affinity_ablation,
     detect_anomalies,
     heterogeneity_ablation,
+    is_store,
     locality_study,
     emergent_vs_sampled_study,
     energy_study,
+    migrate_json,
     nonuniform_tasks_study,
     pilot_count_sweep,
     pool_scaling_study,
     read_ledger,
+    read_ledger_any,
     render_ablation,
+    store_summary,
     render_all,
     render_tail,
     render_table1,
@@ -132,7 +144,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for rep in range(args.reps)
     ]
     on_progress = None if args.quiet else _EtaProgress(grid)
-    ledger = RunLedger(args.ledger) if args.ledger else None
+    store = CampaignStore(args.store) if args.store else None
+    # With a store but no NDJSON path the ledger still streams: its
+    # records land in the store's ledger table (`repro tail` reads both).
+    ledger = (
+        RunLedger(args.ledger, store=store)
+        if (args.ledger or store is not None) else None
+    )
     try:
         result = run_campaign(
             experiments=tuple(args.experiments),
@@ -144,10 +162,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             collect_digests=args.digests,
             on_progress=on_progress,
             ledger=ledger,
+            store=store,
         )
+        if store is not None:
+            store.set_fingerprint("campaign", campaign_fingerprint(result))
     finally:
         if ledger is not None:
             ledger.close()
+        if store is not None:
+            store.close()
     if args.ledger:
         print(f"run ledger streamed to {args.ledger}")
     for err in result.errors:
@@ -159,13 +182,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.output:
         save_campaign(result, args.output)
         print(f"saved {len(result.runs)} runs to {args.output}")
-    else:
+    if args.store:
+        print(f"stored {len(result.runs)} runs in {args.store}")
+    if not args.output and not args.store:
         print(render_all(result))
     return 0 if not result.errors else 1
 
 
+def _load_campaign_any(path: str):
+    """Load a campaign from a legacy JSON artifact or a sqlite store."""
+    if is_store(path):
+        with CampaignStore(path, readonly=True) as store:
+            return store.load_campaign()
+    return load_campaign(path)
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
-    result = load_campaign(args.campaign)
+    result = _load_campaign_any(args.campaign)
     print(render_all(result))
     return 0
 
@@ -193,8 +226,15 @@ def _write_baseline(path: str, key: str, fingerprint: dict) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    result = load_campaign(args.campaign)
-    fingerprint = campaign_fingerprint(result)
+    if is_store(args.campaign):
+        # Store-backed: the fingerprint streams cell by cell through
+        # the index; the anomaly scan still needs the materialized view.
+        with CampaignStore(args.campaign, readonly=True) as store:
+            fingerprint = campaign_fingerprint_from_store(store)
+            result = store.load_campaign()
+    else:
+        result = load_campaign(args.campaign)
+        fingerprint = campaign_fingerprint(result)
     rc = 0
 
     print(
@@ -285,7 +325,7 @@ def _report_data(result, args) -> dict:
         for a in detect_anomalies(result)
     ]
     if args.ledger and os.path.exists(args.ledger):
-        for rec in read_ledger(args.ledger):
+        for rec in read_ledger_any(args.ledger):
             if rec.get("kind") == "cell" and rec.get("anomalies"):
                 anomalies.append({
                     "cell": f"{rec['exp']}:{rec['n']}",
@@ -363,8 +403,11 @@ def _report_data(result, args) -> dict:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .telemetry.report import save_html
 
-    result = load_campaign(args.campaign)
+    result = _load_campaign_any(args.campaign)
     data = _report_data(result, args)
+    if is_store(args.campaign):
+        with CampaignStore(args.campaign, readonly=True) as store:
+            data["store"] = store_summary(store)
     save_html(data, args.output)
     print(f"report written to {args.output}")
     return 0
@@ -374,7 +417,31 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     if not os.path.exists(args.ledger):
         print(f"no such ledger: {args.ledger}", file=sys.stderr)
         return 2
-    print(render_tail(read_ledger(args.ledger), last=args.last))
+    print(render_tail(read_ledger_any(args.ledger), last=args.last))
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    if is_store(args.source):
+        print(
+            f"{args.source} is already a campaign store; nothing to migrate",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = migrate_json(args.source, args.store)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot migrate {args.source!r}: {exc}", file=sys.stderr)
+        return 2
+    with store:
+        fingerprint = campaign_fingerprint_from_store(store)
+        store.set_fingerprint("campaign", fingerprint)
+        print(
+            f"migrated {store.run_count()} runs, "
+            f"{store.error_count()} errors from {args.source} "
+            f"into {args.store}"
+        )
+        print(f"campaign fingerprint {fingerprint['digest'][:12]}")
     return 0
 
 
@@ -610,16 +677,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream an NDJSON run ledger to FILE (one line "
                         "per cell: coordinates, wall cost, worker, "
                         "digests, anomaly flags); `repro tail` reads it")
+    p.add_argument("--store", default=None, metavar="FILE",
+                   help="persist results into an indexed sqlite store "
+                        "(WAL mode, one committed row per cell; "
+                        "analyze/figures/report/tail read it directly "
+                        "and a live `repro tail FILE` never sees a "
+                        "partial row)")
 
     p = sub.add_parser("figures", help="render figures from a saved campaign")
-    p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+    p.add_argument("campaign",
+                   help="campaign JSON from `repro campaign -o` or a "
+                        "sqlite store from `repro campaign --store`")
 
     p = sub.add_parser(
         "analyze",
         help="regression sentinel: compare a campaign against a "
              "committed baseline and scan it for anomalies",
     )
-    p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+    p.add_argument("campaign",
+                   help="campaign JSON from `repro campaign -o` or a "
+                        "sqlite store from `repro campaign --store`")
     p.add_argument("--baseline", default="benchmarks/BENCH_campaign.json",
                    help="bench JSON holding the committed fingerprint "
                         "(default: %(default)s)")
@@ -636,7 +713,9 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="write a self-contained HTML attribution report",
     )
-    p.add_argument("campaign", help="campaign JSON from `repro campaign -o`")
+    p.add_argument("campaign",
+                   help="campaign JSON from `repro campaign -o` or a "
+                        "sqlite store from `repro campaign --store`")
     p.add_argument("-o", "--output", default="report.html",
                    help="output HTML path (default: %(default)s)")
     p.add_argument("--ledger", default=None, metavar="FILE",
@@ -649,9 +728,20 @@ def build_parser() -> argparse.ArgumentParser:
         "tail",
         help="progress view over a (possibly live) campaign run ledger",
     )
-    p.add_argument("ledger", help="NDJSON ledger from `repro campaign --ledger`")
+    p.add_argument("ledger",
+                   help="NDJSON ledger from `repro campaign --ledger` or "
+                        "a sqlite store from `repro campaign --store`")
     p.add_argument("--last", type=int, default=8,
                    help="show the last N cells (default: %(default)s)")
+
+    p = sub.add_parser(
+        "migrate",
+        help="import a legacy campaign JSON artifact into an indexed "
+             "sqlite store (idempotent: re-migrating replaces the same "
+             "rows with the same content)",
+    )
+    p.add_argument("source", help="legacy campaign JSON artifact")
+    p.add_argument("store", help="sqlite store to create or extend")
 
     p = sub.add_parser("ablation", help="run one ablation study")
     p.add_argument("study", choices=sorted(list(_ABLATIONS) + ["waits"]))
@@ -737,6 +827,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "report": _cmd_report,
         "tail": _cmd_tail,
+        "migrate": _cmd_migrate,
         "ablation": _cmd_ablation,
         "calibrate": _cmd_calibrate,
         "probe": _cmd_probe,

@@ -329,6 +329,7 @@ def run_campaign(
     collect_digests: bool = False,
     on_progress: Optional[Callable[[CellProgress], None]] = None,
     ledger=None,
+    store=None,
 ) -> CampaignResult:
     """Run the full experiment grid; returns all repetitions.
 
@@ -341,7 +342,11 @@ def run_campaign(
     ``on_progress`` receives one :class:`CellProgress` per completed
     repetition; ``ledger`` (a :class:`repro.experiments.ledger.RunLedger`)
     streams the campaign's NDJSON run ledger in both serial and
-    parallel modes.
+    parallel modes. ``store`` (a
+    :class:`repro.experiments.store.CampaignStore`) persists each
+    repetition as it completes — one committed row per cell, so a
+    concurrent reader (``repro tail``) and a post-crash forensic pass
+    both see exactly the completed prefix.
     """
     if jobs != 1:
         from .runner import run_parallel_campaign
@@ -357,6 +362,7 @@ def run_campaign(
             collect_digests=collect_digests,
             on_progress=on_progress,
             ledger=ledger,
+            store=store,
         )
     meta = campaign_meta(
         experiments=experiments, task_counts=task_counts, reps=reps,
@@ -366,6 +372,8 @@ def run_campaign(
     total = len(list(experiments)) * len(list(task_counts)) * reps
     log.info("serial campaign: %d cells, seed=%d", total, campaign_seed)
     campaign_w0 = perf_counter()
+    if store is not None:
+        store.set_campaign_meta(meta)
     if ledger is not None:
         ledger.campaign_start(total, meta)
     for exp_id in experiments:
@@ -381,6 +389,8 @@ def run_campaign(
                 )
                 wall = perf_counter() - w0
                 result.add(run)
+                if store is not None:
+                    store.put_run(run)
                 if verbose:
                     print(
                         f"{spec.label} n={n_tasks} rep={rep}: "

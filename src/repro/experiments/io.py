@@ -1,8 +1,15 @@
-"""Persistence for campaign results (JSON on disk).
+"""The campaign JSON codec: import/export for campaign artifacts.
 
-Campaigns are cheap to re-run but the paper's analysis workflow treats
-measurement and analysis as separate phases; saving results also lets
-the CLI regenerate figures without re-simulating.
+Historically this module *was* the persistence layer — campaigns lived
+in ad-hoc JSON files loaded whole. The indexed sqlite store
+(:mod:`repro.experiments.store`) is now the queryable source of truth
+for large campaigns; this module remains the interchange codec both
+paths share: per-run/per-error dict conversion (used verbatim for the
+store's row payloads) plus whole-campaign JSON files for portability,
+diffing, and the committed legacy artifacts (``campaign_2016.json``).
+Because the store serializes rows through the same
+:func:`run_to_dict`/:func:`run_from_dict` pair, a campaign round-trips
+field-for-field identically through either path.
 """
 
 from __future__ import annotations
@@ -16,14 +23,49 @@ from .campaign import CampaignResult, CellError, RunResult
 FORMAT_VERSION = 1
 
 
+def run_to_dict(run: RunResult) -> Dict[str, Any]:
+    """One repetition as plain JSON-compatible data (the shared codec)."""
+    return dataclasses.asdict(run)
+
+
+def run_from_dict(raw: Dict[str, Any]) -> RunResult:
+    """Rebuild one repetition from :func:`run_to_dict` output.
+
+    Tolerates artifacts written by older code: files from before the
+    parallel runner lack ``events``/``digest``, files from before the
+    attribution engine lack ``attribution``/``attribution_digest``.
+    """
+    raw = dict(raw)
+    raw["resources"] = tuple(raw["resources"])
+    raw["pilot_waits"] = tuple(raw["pilot_waits"])
+    raw.setdefault("events", 0)
+    raw.setdefault("digest", "")
+    raw.setdefault("attribution", ())
+    raw.setdefault("attribution_digest", "")
+    raw["attribution"] = tuple(
+        (str(name), float(value)) for name, value in raw["attribution"]
+    )
+    return RunResult(**raw)
+
+
+def error_to_dict(err: CellError) -> Dict[str, Any]:
+    """One failed repetition as plain JSON-compatible data."""
+    return dataclasses.asdict(err)
+
+
+def error_from_dict(raw: Dict[str, Any]) -> CellError:
+    """Rebuild one failed repetition from :func:`error_to_dict` output."""
+    return CellError(**raw)
+
+
 def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
     """Serialize a campaign to plain JSON-compatible data."""
     out: Dict[str, Any] = {
         "format": FORMAT_VERSION,
-        "runs": [dataclasses.asdict(run) for run in result.runs],
+        "runs": [run_to_dict(run) for run in result.runs],
     }
     if result.errors:
-        out["errors"] = [dataclasses.asdict(err) for err in result.errors]
+        out["errors"] = [error_to_dict(err) for err in result.errors]
     if result.meta:
         out["meta"] = dict(result.meta)
     return out
@@ -39,21 +81,9 @@ def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
         )
     result = CampaignResult()
     for raw in data["runs"]:
-        raw = dict(raw)
-        raw["resources"] = tuple(raw["resources"])
-        raw["pilot_waits"] = tuple(raw["pilot_waits"])
-        # Files written before the parallel runner lack these fields.
-        raw.setdefault("events", 0)
-        raw.setdefault("digest", "")
-        # ... and files written before the attribution engine lack these.
-        raw.setdefault("attribution", ())
-        raw.setdefault("attribution_digest", "")
-        raw["attribution"] = tuple(
-            (str(name), float(value)) for name, value in raw["attribution"]
-        )
-        result.add(RunResult(**raw))
+        result.add(run_from_dict(raw))
     for raw in data.get("errors", ()):
-        result.errors.append(CellError(**raw))
+        result.errors.append(error_from_dict(raw))
     result.meta = dict(data.get("meta", ()))
     return result
 

@@ -50,11 +50,22 @@ def flag_anomalies(run: RunResult) -> List[str]:
 
 
 class RunLedger:
-    """Append-only NDJSON writer the campaign runner streams into."""
+    """Append-only run-ledger writer the campaign runner streams into.
 
-    def __init__(self, path: str) -> None:
+    Writes NDJSON to ``path``, mirrors every record into a
+    :class:`~repro.experiments.store.CampaignStore` ``ledger`` table, or
+    both — the two representations carry identical records and ``repro
+    tail`` reads either. At least one sink must be given.
+    """
+
+    def __init__(self, path: Optional[str] = None, store=None) -> None:
+        if path is None and store is None:
+            raise ValueError("RunLedger needs a path, a store, or both")
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.store = store
+        self._fh: Optional[IO[str]] = (
+            open(path, "w", encoding="utf-8") if path is not None else None
+        )
 
     # -- record emitters -------------------------------------------------------
 
@@ -114,16 +125,20 @@ class RunLedger:
     # -- plumbing --------------------------------------------------------------
 
     def _emit(self, record: Dict[str, Any]) -> None:
-        if self._fh is None:  # pragma: no cover - defensive
+        if self._fh is None and self.store is None:  # pragma: no cover
             log.warning("ledger %s already closed; record dropped", self.path)
             return
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        if self.store is not None:
+            self.store.append_ledger(record)
 
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self.store = None  # the store handle is owned by the caller
 
     def __enter__(self) -> "RunLedger":
         return self
@@ -136,20 +151,44 @@ class RunLedger:
 
 
 def read_ledger(path: str) -> List[Dict[str, Any]]:
-    """Parse an NDJSON ledger; tolerates a torn trailing line (live file)."""
+    """Parse an NDJSON ledger; tolerates a torn trailing line (live file).
+
+    A live tail can split the writer's last line anywhere — including
+    *inside* a multi-byte UTF-8 character — so the file is read as
+    bytes and each line decoded individually: a trailing fragment that
+    fails to decode or to parse is dropped, everything before it is
+    intact. (Text-mode reading would raise ``UnicodeDecodeError`` for
+    the whole file on a mid-character tear.)
+    """
     records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                # a writer mid-line; everything before it is intact.
-                log.debug("torn ledger line ignored: %.40s...", line)
-                break
+    with open(path, "rb") as fh:
+        data = fh.read()
+    for raw in data.split(b"\n"):
+        if not raw.strip():
+            continue
+        try:
+            records.append(json.loads(raw.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # a writer mid-line (possibly mid-character); everything
+            # before it is intact.
+            log.debug("torn ledger line ignored: %.40r...", raw[:40])
+            break
     return records
+
+
+def read_ledger_any(path: str) -> List[Dict[str, Any]]:
+    """Read ledger records from an NDJSON file *or* a campaign store.
+
+    ``repro tail`` points here: the campaign runner streams the same
+    records to both sinks, so consumers need not care which one they
+    were handed.
+    """
+    from .store import CampaignStore, is_store
+
+    if is_store(path):
+        with CampaignStore(path, readonly=True) as store:
+            return store.ledger_records()
+    return read_ledger(path)
 
 
 def ledger_progress(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:

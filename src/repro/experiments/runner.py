@@ -279,6 +279,7 @@ def run_parallel_campaign(
     run_fn: Optional[str] = None,
     stats: Optional[RunnerStats] = None,
     ledger: Optional[RunLedger] = None,
+    store=None,
 ) -> CampaignResult:
     """Run the experiment grid on ``jobs`` worker processes.
 
@@ -291,10 +292,16 @@ def run_parallel_campaign(
     ``on_progress`` receives one :class:`CellProgress` per completed
     repetition (coordinates, wall cost, error status). ``ledger``, when
     given, streams the campaign's NDJSON run ledger (see
-    :mod:`repro.experiments.ledger`). ``run_fn`` names a
-    ``module:attr`` replacement for the per-cell execution function
-    (used by the crash-containment tests). ``stats``, when given, is
-    filled with aggregated runner telemetry.
+    :mod:`repro.experiments.ledger`). ``store``, when given, is a
+    :class:`repro.experiments.store.CampaignStore` the parent writes
+    each completed repetition (or :class:`CellError`) into — workers
+    return results over the pool and never touch the store, so it has
+    exactly one writer; every cell commits individually, preserving
+    crash containment (a dead worker or parent leaves only whole,
+    committed rows). ``run_fn`` names a ``module:attr`` replacement for
+    the per-cell execution function (used by the crash-containment
+    tests). ``stats``, when given, is filled with aggregated runner
+    telemetry.
     """
     t0 = time.perf_counter()
     jobs = resolve_jobs(jobs)
@@ -318,6 +325,8 @@ def run_parallel_campaign(
         "parallel campaign: %d cells on %d worker(s), seed=%d",
         len(grid), jobs, campaign_seed,
     )
+    if store is not None:
+        store.set_campaign_meta(meta)
     if ledger is not None:
         ledger.campaign_start(len(grid), meta)
 
@@ -333,11 +342,15 @@ def run_parallel_campaign(
             results[cell] = run
             stats.completed += 1
             stats.events += getattr(payload, "events", 0)
+            if store is not None:
+                store.put_run(run)
         else:
             error = str(payload)
             errors[cell] = error
             stats.errors += 1
             log.warning("cell %s failed: %s", cell, error)
+            if store is not None:
+                store.put_error(CellError(*cell, error=error))
         if verbose:
             exp_id, n_tasks, rep = cell
             if run is not None:

@@ -83,6 +83,53 @@ def _median(vals: Sequence[float]) -> float:
 # -- fingerprints --------------------------------------------------------------
 
 
+def _cell_fingerprint(runs: Sequence[RunResult]) -> Dict[str, Any]:
+    """One cell's fingerprint entry from its repetitions (reps ascending)."""
+    comp_sums = {name: 0.0 for name in COMPONENTS}
+    share_sums = {name: 0.0 for name in COMPONENTS}
+    ttc_sum = 0.0
+    thr_sum = 0.0
+    for run in runs:
+        comps = _components_of(run)
+        ttc_sum += run.ttc
+        if run.ttc > 0:
+            thr_sum += run.units_done / (run.ttc / 3600.0)
+        for name in COMPONENTS:
+            comp_sums[name] += comps.get(name, 0.0)
+            if run.ttc > 0:
+                share_sums[name] += comps.get(name, 0.0) / run.ttc
+    n = len(runs)
+    return {
+        "n": n,
+        "ttc_mean": ttc_sum / n,
+        "throughput": thr_sum / n,
+        "components": {
+            name: comp_sums[name] / n for name in COMPONENTS
+        },
+        "shares": {
+            name: share_sums[name] / n for name in COMPONENTS
+        },
+        "attribution_digest": sha256_digest(
+            [r.attribution_digest for r in runs]
+        ),
+    }
+
+
+def _assemble_fingerprint(
+    cells: Dict[str, Any], meta: Dict[str, Any], errors: int
+) -> Dict[str, Any]:
+    fp: Dict[str, Any] = {
+        "format": FINGERPRINT_FORMAT,
+        "meta": dict(meta),
+        "errors": errors,
+        "cells": cells,
+    }
+    fp["digest"] = sha256_digest(
+        {k: v for k, v in fp.items() if k != "digest"}
+    )
+    return fp
+
+
 def campaign_fingerprint(result: CampaignResult) -> Dict[str, Any]:
     """A compact, committable summary of a campaign's shape.
 
@@ -97,44 +144,27 @@ def campaign_fingerprint(result: CampaignResult) -> Dict[str, Any]:
     for run in result.runs:
         by_cell.setdefault((run.exp_id, run.n_tasks), []).append(run)
     for (exp_id, n_tasks), runs in sorted(by_cell.items()):
-        comp_sums = {name: 0.0 for name in COMPONENTS}
-        share_sums = {name: 0.0 for name in COMPONENTS}
-        ttc_sum = 0.0
-        thr_sum = 0.0
-        for run in runs:
-            comps = _components_of(run)
-            ttc_sum += run.ttc
-            if run.ttc > 0:
-                thr_sum += run.units_done / (run.ttc / 3600.0)
-            for name in COMPONENTS:
-                comp_sums[name] += comps.get(name, 0.0)
-                if run.ttc > 0:
-                    share_sums[name] += comps.get(name, 0.0) / run.ttc
-        n = len(runs)
-        cells[f"{exp_id}:{n_tasks}"] = {
-            "n": n,
-            "ttc_mean": ttc_sum / n,
-            "throughput": thr_sum / n,
-            "components": {
-                name: comp_sums[name] / n for name in COMPONENTS
-            },
-            "shares": {
-                name: share_sums[name] / n for name in COMPONENTS
-            },
-            "attribution_digest": sha256_digest(
-                [r.attribution_digest for r in runs]
-            ),
-        }
-    fp: Dict[str, Any] = {
-        "format": FINGERPRINT_FORMAT,
-        "meta": dict(result.meta),
-        "errors": len(result.errors),
-        "cells": cells,
-    }
-    fp["digest"] = sha256_digest(
-        {k: v for k, v in fp.items() if k != "digest"}
+        cells[f"{exp_id}:{n_tasks}"] = _cell_fingerprint(runs)
+    return _assemble_fingerprint(cells, result.meta, len(result.errors))
+
+
+def campaign_fingerprint_from_store(store) -> Dict[str, Any]:
+    """:func:`campaign_fingerprint`, computed by streaming the store.
+
+    Queries one cell at a time through the
+    :class:`~repro.experiments.store.CampaignStore` index instead of
+    materializing the whole campaign, so peak memory is O(cell) even
+    for million-cell stores. Produces the *identical* fingerprint dict
+    and digest as the in-memory path — the differential harness holds
+    the two implementations to that.
+    """
+    cells: Dict[str, Any] = {}
+    for exp_id, n_tasks in store.cells():
+        runs = store.cell_runs(exp_id, n_tasks)
+        cells[f"{exp_id}:{n_tasks}"] = _cell_fingerprint(runs)
+    return _assemble_fingerprint(
+        cells, store.campaign_meta(), store.error_count()
     )
-    return fp
 
 
 @dataclass(frozen=True)

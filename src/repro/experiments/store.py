@@ -1,0 +1,420 @@
+"""Indexed campaign result store: a sqlite-backed repository layer.
+
+The load-everything JSON persistence of :mod:`repro.experiments.io` is
+fine for a 4-experiment grid and fatal for a million-cell campaign:
+every consumer — the sentinel, the report, a single-cell replay — paid
+O(campaign) to look at O(cell) data. :class:`CampaignStore` replaces it
+as the source of truth. One sqlite file (WAL mode) holds
+
+* ``runs`` — one row per repetition, keyed ``(exp_id, n_tasks, rep)``,
+  with the full :class:`~repro.experiments.campaign.RunResult` as a
+  JSON payload (the exact :func:`repro.experiments.io.run_to_dict`
+  codec, so store and legacy JSON round-trip identically) plus indexed
+  scalar columns (``ttc``, digests) for queries;
+* ``cell_errors`` — repetitions lost to crashes, same key;
+* ``ledger`` — the NDJSON run-ledger event stream, mirrored row by row
+  (``repro tail`` reads either representation);
+* ``fingerprints`` — sentinel campaign fingerprints by key;
+* ``store_meta`` — format version and the campaign provenance dict.
+
+Concurrency contract: exactly one writer (the campaign runner's parent
+process — workers never touch the store), any number of readers. WAL
+mode gives readers a consistent committed snapshot while the writer
+appends; every ``put_*`` is one transaction, so a reader can never
+observe a torn or partial row and a crashed writer leaves no orphan
+rows — whatever committed is whole, the in-flight cell simply is not
+there.
+
+``rows_read`` counts rows actually materialized into Python objects;
+the differential harness uses it to prove that fetching one cell of a
+thousand-cell campaign does not deserialize the other 999.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sqlite3
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .campaign import CampaignResult, CellError, RunResult
+from .io import error_from_dict, error_to_dict, run_from_dict, run_to_dict
+
+log = logging.getLogger(__name__)
+
+STORE_FORMAT = 1
+
+#: the first 16 bytes of every sqlite3 database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    exp_id   INTEGER NOT NULL,
+    n_tasks  INTEGER NOT NULL,
+    rep      INTEGER NOT NULL,
+    seq      INTEGER NOT NULL,
+    ttc      REAL,
+    units_done INTEGER NOT NULL,
+    digest   TEXT NOT NULL,
+    attribution_digest TEXT NOT NULL,
+    payload  TEXT NOT NULL,
+    PRIMARY KEY (exp_id, n_tasks, rep)
+);
+CREATE INDEX IF NOT EXISTS idx_runs_ttc ON runs (ttc);
+CREATE TABLE IF NOT EXISTS cell_errors (
+    exp_id  INTEGER NOT NULL,
+    n_tasks INTEGER NOT NULL,
+    rep     INTEGER NOT NULL,
+    seq     INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (exp_id, n_tasks, rep)
+);
+CREATE TABLE IF NOT EXISTS ledger (
+    seq    INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind   TEXT NOT NULL,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS fingerprints (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def is_store(path: str) -> bool:
+    """True when ``path`` is an existing sqlite database file."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+class CampaignStore:
+    """Repository over one campaign-store sqlite file.
+
+    Open read-write (the default) to create/extend a store, or with
+    ``readonly=True`` for consumers that must never mutate it (``repro
+    tail`` on a live campaign, ``repro analyze``). Handles are cheap;
+    concurrent processes each open their own.
+    """
+
+    def __init__(self, path: str, readonly: bool = False) -> None:
+        self.path = path
+        self.readonly = readonly
+        #: rows materialized into Python objects by this handle — the
+        #: differential harness's O(cell)-not-O(campaign) evidence.
+        self.rows_read = 0
+        if readonly:
+            uri = f"file:{path}?mode=ro"
+            self._conn = sqlite3.connect(uri, uri=True, isolation_level=None)
+        else:
+            self._conn = sqlite3.connect(path, isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        if not readonly:
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._init_format()
+
+    def _init_format(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key='format'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO store_meta (key, value) VALUES ('format', ?)",
+                (str(STORE_FORMAT),),
+            )
+        elif int(row[0]) != STORE_FORMAT:
+            raise ValueError(
+                f"unsupported store format {row[0]!r} in {self.path} "
+                f"(expected {STORE_FORMAT})"
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Group several writes into one atomic commit.
+
+        Readers see nothing until the block exits cleanly; an exception
+        rolls the whole group back (no orphan rows).
+        """
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    # -- writing ---------------------------------------------------------------
+
+    def put_run(self, run: RunResult) -> None:
+        """Insert or replace one repetition (idempotent by coordinates)."""
+        ttc = run.ttc if run.ttc == run.ttc else None  # sqlite: NaN -> NULL
+        self._conn.execute(
+            "INSERT OR REPLACE INTO runs "
+            "(exp_id, n_tasks, rep, seq, ttc, units_done, digest, "
+            " attribution_digest, payload) "
+            "VALUES (?, ?, ?, "
+            " (SELECT COALESCE(MAX(seq), -1) + 1 FROM runs), "
+            " ?, ?, ?, ?, ?)",
+            (
+                run.exp_id, run.n_tasks, run.rep, ttc, run.units_done,
+                run.digest, run.attribution_digest,
+                json.dumps(run_to_dict(run), sort_keys=True),
+            ),
+        )
+
+    def put_runs(self, runs: Iterable[RunResult]) -> int:
+        """Insert many repetitions in one transaction; returns the count."""
+        n = 0
+        with self.transaction():
+            for run in runs:
+                self.put_run(run)
+                n += 1
+        return n
+
+    def put_error(self, err: CellError) -> None:
+        """Insert or replace one failed repetition."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO cell_errors "
+            "(exp_id, n_tasks, rep, seq, payload) "
+            "VALUES (?, ?, ?, "
+            " (SELECT COALESCE(MAX(seq), -1) + 1 FROM cell_errors), ?)",
+            (
+                err.exp_id, err.n_tasks, err.rep,
+                json.dumps(error_to_dict(err), sort_keys=True),
+            ),
+        )
+
+    def set_campaign_meta(self, meta: Dict[str, Any]) -> None:
+        """Record the campaign provenance dict (seed, grid, reps)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO store_meta (key, value) "
+            "VALUES ('campaign', ?)",
+            (json.dumps(dict(meta), sort_keys=True),),
+        )
+
+    def append_ledger(self, record: Dict[str, Any]) -> None:
+        """Mirror one run-ledger event into the store."""
+        self._conn.execute(
+            "INSERT INTO ledger (kind, record) VALUES (?, ?)",
+            (str(record.get("kind", "?")), json.dumps(record, sort_keys=True)),
+        )
+
+    def set_fingerprint(self, key: str, fingerprint: Dict[str, Any]) -> None:
+        """Persist a sentinel campaign fingerprint under ``key``."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO fingerprints (key, value) VALUES (?, ?)",
+            (key, json.dumps(fingerprint, sort_keys=True)),
+        )
+
+    def ingest(self, result: CampaignResult) -> Tuple[int, int]:
+        """Import a whole campaign atomically; returns (runs, errors).
+
+        ``repro migrate`` uses this for legacy JSON artifacts. Rows are
+        keyed by their grid coordinates, so re-ingesting the same
+        campaign is idempotent.
+        """
+        with self.transaction():
+            for run in result.runs:
+                self.put_run(run)
+            for err in result.errors:
+                self.put_error(err)
+            if result.meta:
+                self.set_campaign_meta(result.meta)
+        return len(result.runs), len(result.errors)
+
+    # -- reading ---------------------------------------------------------------
+
+    def campaign_meta(self) -> Dict[str, Any]:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key='campaign'"
+        ).fetchone()
+        return json.loads(row[0]) if row else {}
+
+    def run_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def error_count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM cell_errors"
+        ).fetchone()[0]
+
+    def get_run(
+        self, exp_id: int, n_tasks: int, rep: int
+    ) -> Optional[RunResult]:
+        """Fetch one repetition by coordinates — O(1), not O(campaign)."""
+        row = self._conn.execute(
+            "SELECT payload FROM runs "
+            "WHERE exp_id=? AND n_tasks=? AND rep=?",
+            (exp_id, n_tasks, rep),
+        ).fetchone()
+        if row is None:
+            return None
+        self.rows_read += 1
+        return run_from_dict(json.loads(row[0]))
+
+    def cell_runs(self, exp_id: int, n_tasks: int) -> List[RunResult]:
+        """All repetitions of one cell, reps ascending."""
+        rows = self._conn.execute(
+            "SELECT payload FROM runs WHERE exp_id=? AND n_tasks=? "
+            "ORDER BY rep",
+            (exp_id, n_tasks),
+        ).fetchall()
+        self.rows_read += len(rows)
+        return [run_from_dict(json.loads(r[0])) for r in rows]
+
+    def cells(self) -> List[Tuple[int, int]]:
+        """Distinct ``(exp_id, n_tasks)`` cells, sorted."""
+        return [
+            (int(e), int(n))
+            for e, n in self._conn.execute(
+                "SELECT DISTINCT exp_id, n_tasks FROM runs "
+                "ORDER BY exp_id, n_tasks"
+            )
+        ]
+
+    def iter_runs(self) -> Iterator[RunResult]:
+        """Stream every repetition in ``(exp_id, n_tasks, rep)`` order."""
+        for row in self._conn.execute(
+            "SELECT payload FROM runs ORDER BY exp_id, n_tasks, rep"
+        ):
+            self.rows_read += 1
+            yield run_from_dict(json.loads(row[0]))
+
+    def errors(self) -> List[CellError]:
+        """Every failed repetition, in grid order when meta allows."""
+        rows = self._conn.execute(
+            "SELECT exp_id, n_tasks, rep, seq, payload FROM cell_errors"
+        ).fetchall()
+        self.rows_read += len(rows)
+        key = _grid_sort_key(self.campaign_meta())
+        rows.sort(key=lambda r: key(r[0], r[1], r[2], r[3]))
+        return [error_from_dict(json.loads(r[4])) for r in rows]
+
+    def slowest_run(self) -> Optional[RunResult]:
+        """The repetition with the largest TTC (index-served)."""
+        row = self._conn.execute(
+            "SELECT payload FROM runs "
+            "ORDER BY ttc DESC, exp_id DESC, n_tasks DESC, rep DESC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        self.rows_read += 1
+        return run_from_dict(json.loads(row[0]))
+
+    def ledger_records(self) -> List[Dict[str, Any]]:
+        """The mirrored run-ledger event stream, in emission order."""
+        return [
+            json.loads(r[0])
+            for r in self._conn.execute(
+                "SELECT record FROM ledger ORDER BY seq"
+            )
+        ]
+
+    def fingerprint(self, key: str = "campaign") -> Optional[Dict[str, Any]]:
+        row = self._conn.execute(
+            "SELECT value FROM fingerprints WHERE key=?", (key,)
+        ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def load_campaign(self) -> CampaignResult:
+        """Materialize the whole campaign (the legacy-compatible view).
+
+        Runs and errors come back in grid order — experiments x
+        task_counts x reps exactly as the serial loop nest emits them —
+        whenever the stored campaign meta describes the grid; rows
+        outside the described grid (or with no meta at all) keep their
+        insertion order after it.
+        """
+        meta = self.campaign_meta()
+        result = CampaignResult(meta=meta)
+        rows = self._conn.execute(
+            "SELECT exp_id, n_tasks, rep, seq, payload FROM runs"
+        ).fetchall()
+        self.rows_read += len(rows)
+        key = _grid_sort_key(meta)
+        rows.sort(key=lambda r: key(r[0], r[1], r[2], r[3]))
+        for r in rows:
+            result.add(run_from_dict(json.loads(r[4])))
+        result.errors.extend(self.errors())
+        return result
+
+
+def _positions(value: Any) -> Dict[int, int]:
+    """``[3, 1]`` -> ``{3: 0, 1: 1}``; anything malformed -> ``{}``."""
+    try:
+        return {int(v): i for i, v in enumerate(value or ())}
+    except (TypeError, ValueError):
+        return {}
+
+
+def _grid_sort_key(meta: Dict[str, Any]):
+    """Sort key restoring the serial loop-nest order from campaign meta."""
+    exp_pos = _positions(meta.get("experiments"))
+    size_pos = _positions(meta.get("task_counts"))
+
+    def key(exp_id: int, n_tasks: int, rep: int, seq: int):
+        if exp_id in exp_pos and n_tasks in size_pos:
+            return (0, exp_pos[exp_id], size_pos[n_tasks], rep, seq)
+        return (1, seq, 0, 0, 0)
+
+    return key
+
+
+def migrate_json(json_path: str, store_path: str) -> CampaignStore:
+    """Import a legacy campaign JSON artifact into a store (idempotent).
+
+    Returns the open read-write :class:`CampaignStore`; the caller
+    closes it. Re-running the migration replaces the same rows with the
+    same content, so a store migrated twice is byte-for-byte the same
+    campaign.
+    """
+    from .io import load_campaign
+
+    result = load_campaign(json_path)
+    store = CampaignStore(store_path)
+    n_runs, n_errors = store.ingest(result)
+    log.info(
+        "migrated %s -> %s: %d runs, %d errors",
+        json_path, store_path, n_runs, n_errors,
+    )
+    return store
+
+
+def store_summary(store: CampaignStore) -> Dict[str, Any]:
+    """Compact provenance block for reports: counts, cells, file size."""
+    size = 0
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            size += os.path.getsize(store.path + suffix)
+        except OSError:
+            pass
+    return {
+        "path": store.path,
+        "runs": store.run_count(),
+        "errors": store.error_count(),
+        "cells": len(store.cells()),
+        "size_bytes": size,
+    }

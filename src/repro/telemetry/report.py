@@ -21,6 +21,7 @@ Expected ``data`` keys (all optional except ``title``)::
     tw_by_resource: {resource: [seconds, ...]}
     anomalies:    [{cell, kind, detail}, ...]
     drift:        [{cell, metric, baseline, current, rel}, ...]
+    store:        {path, runs, errors, cells, size_bytes}
 """
 
 from __future__ import annotations
@@ -194,6 +195,21 @@ def _anomaly_table(anomalies: Sequence[Dict[str, Any]]) -> str:
     )
 
 
+def _store_table(store: Dict[str, Any]) -> str:
+    """Provenance block for store-backed reports (indexed sqlite source)."""
+    rows = [
+        ("store file", store.get("path", "?")),
+        ("runs", store.get("runs", 0)),
+        ("errors", store.get("errors", 0)),
+        ("cells", store.get("cells", 0)),
+        ("size", f"{int(store.get('size_bytes', 0)):,} bytes"),
+    ]
+    body = "".join(
+        f"<tr><th>{_esc(k)}</th><td>{_esc(v)}</td></tr>" for k, v in rows
+    )
+    return f"<table>{body}</table>"
+
+
 def _drift_table(drift: Sequence[Dict[str, Any]]) -> str:
     if not drift:
         return '<p class="muted">No drift against the baseline.</p>'
@@ -250,6 +266,14 @@ def render_html(data: Dict[str, Any]) -> str:
             sections.append(_histogram(values))
     sections.append("<h2>Anomalies</h2>")
     sections.append(_anomaly_table(data.get("anomalies", ())))
+    if data.get("store"):
+        sections.append("<h2>Result store</h2>")
+        sections.append(
+            '<p class="muted">This report was generated from an indexed '
+            "campaign store; per-cell queries were index-served rather "
+            "than loaded from a whole-campaign artifact.</p>"
+        )
+        sections.append(_store_table(data["store"]))
     if "drift" in data:
         sections.append("<h2>Baseline comparison</h2>")
         sections.append(_drift_table(data["drift"]))

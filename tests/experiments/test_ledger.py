@@ -88,6 +88,59 @@ class TestRunLedger:
         records = read_ledger(path)
         assert [r["kind"] for r in records] == ["campaign-start", "cell"]
 
+    def test_line_torn_mid_utf8_character_is_tolerated(self, tmp_path):
+        """Regression: a tail cut through a multi-byte UTF-8 character.
+
+        The old text-mode reader decoded the whole file up front, so a
+        torn trailing line split *inside* one character ('é' is two
+        bytes) raised UnicodeDecodeError and lost every earlier record.
+        The reader now decodes per line and treats the torn tail like
+        any other partial write: ignored.
+        """
+        path = str(tmp_path / "l.ndjson")
+        with RunLedger(path) as ledger:
+            ledger.campaign_start(total=4, meta={"note": "expérience"})
+            ledger.cell(CellProgress(1, 4, (1, 8, 0), wall_s=0.1))
+        torn = '{"kind": "cell", "error": "é'.encode("utf-8")[:-1]
+        with open(path, "ab") as fh:
+            fh.write(torn)  # writer died one byte into 'é'
+        records = read_ledger(path)
+        assert [r["kind"] for r in records] == ["campaign-start", "cell"]
+        assert records[0]["meta"]["note"] == "expérience"
+
+    def test_mirrors_into_store(self, tmp_path):
+        from repro.experiments import CampaignStore, read_ledger_any
+
+        ndjson = str(tmp_path / "l.ndjson")
+        sqlite_path = str(tmp_path / "l.sqlite")
+        with CampaignStore(sqlite_path) as store:
+            with RunLedger(ndjson, store=store) as ledger:
+                ledger.campaign_start(total=1, meta={"seed": 7})
+                ledger.cell(
+                    CellProgress(1, 1, (1, 8, 0), wall_s=0.5, ttc=9.0),
+                    run=_run(), worker=5,
+                )
+                ledger.campaign_end(completed=1, errors=0, wall_s=0.5)
+            # both representations carry the identical event stream
+            assert store.ledger_records() == read_ledger(ndjson)
+        # and read_ledger_any dispatches on the artifact kind
+        assert read_ledger_any(sqlite_path) == read_ledger_any(ndjson)
+
+    def test_store_only_ledger_needs_no_file(self, tmp_path):
+        from repro.experiments import CampaignStore, read_ledger_any
+
+        sqlite_path = str(tmp_path / "l.sqlite")
+        with CampaignStore(sqlite_path) as store:
+            with RunLedger(store=store) as ledger:
+                ledger.campaign_start(total=0, meta={})
+            records = store.ledger_records()
+        assert [r["kind"] for r in records] == ["campaign-start"]
+        assert read_ledger_any(sqlite_path) == records
+
+    def test_ledger_requires_some_sink(self):
+        with pytest.raises(ValueError):
+            RunLedger()
+
 
 class TestLedgerProgress:
     def _records(self):

@@ -1,0 +1,256 @@
+"""Property-based round-trip tests for the campaign store.
+
+Hypothesis drives adversarial campaigns — NaN/inf timings, unicode
+experiment names and error messages, empty campaigns, zero-rep cells —
+through the full chain the repository layer promises to preserve:
+
+    store write -> store read -> JSON export -> JSON import
+
+and asserts nothing changes at any hop. A fast, low-example version
+runs in tier-1; the heavy randomized sweep is marked ``slow`` and runs
+in the dedicated CI store job (``pytest -m slow``).
+"""
+
+import dataclasses
+import json
+import math
+import os
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import CampaignStore
+from repro.experiments.campaign import CampaignResult, CellError, RunResult
+from repro.experiments.io import (
+    campaign_from_dict,
+    campaign_to_dict,
+    run_from_dict,
+    run_to_dict,
+)
+
+# -- strategies -------------------------------------------------------------
+
+#: all floats, including NaN, +inf, -inf, signed zero, subnormals.
+wild_floats = st.floats(allow_nan=True, allow_infinity=True)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+#: printable unicode without surrogates (sqlite TEXT + JSON both reject
+#: lone surrogates, and the legacy JSON path never produced them either).
+unicode_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=24
+)
+
+run_results = st.builds(
+    RunResult,
+    exp_id=st.integers(min_value=1, max_value=4),
+    n_tasks=st.integers(min_value=0, max_value=4096),
+    rep=st.integers(min_value=0, max_value=64),
+    resources=st.lists(unicode_text, max_size=3).map(tuple),
+    ttc=wild_floats,
+    tw=wild_floats,
+    tw_last=wild_floats,
+    tx=wild_floats,
+    ts=wild_floats,
+    trp=wild_floats,
+    pilot_waits=st.lists(finite_floats, max_size=4).map(tuple),
+    units_done=st.integers(min_value=0, max_value=4096),
+    restarts=st.integers(min_value=0, max_value=8),
+    events=st.integers(min_value=0, max_value=10**6),
+    digest=st.sampled_from(["", "ab" * 32]),
+    attribution=st.lists(
+        st.tuples(unicode_text, wild_floats), max_size=4
+    ).map(tuple),
+    attribution_digest=st.sampled_from(["", "cd" * 32]),
+)
+
+cell_errors = st.builds(
+    CellError,
+    exp_id=st.integers(min_value=1, max_value=4),
+    n_tasks=st.integers(min_value=0, max_value=4096),
+    rep=st.integers(min_value=0, max_value=64),
+    error=unicode_text,
+)
+
+#: campaign meta with unicode keys/values, like a hostile config file.
+metas = st.dictionaries(
+    st.sampled_from(
+        ["campaign_seed", "experiments", "task_counts", "reps", "note"]
+    ),
+    st.one_of(
+        st.integers(min_value=-10, max_value=10**6),
+        st.lists(st.integers(min_value=0, max_value=99), max_size=4),
+        unicode_text,
+        st.none(),
+    ),
+    max_size=5,
+)
+
+
+def _dedupe(items):
+    # distinct (exp, n, rep) coordinates: the store keys on them, and the
+    # real runner never emits duplicates for one campaign.
+    seen, unique = set(), []
+    for item in items:
+        key = (item.exp_id, item.n_tasks, item.rep)
+        if key not in seen:
+            seen.add(key)
+            unique.append(item)
+    return unique
+
+
+@st.composite
+def campaigns(draw):
+    """Whole campaigns: possibly empty, possibly error-only (zero runs)."""
+    result = CampaignResult(meta=draw(metas))
+    for run in _dedupe(draw(st.lists(run_results, max_size=6))):
+        result.add(run)
+    result.errors.extend(_dedupe(draw(st.lists(cell_errors, max_size=3))))
+    return result
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def canon(result):
+    """Order-insensitive canonical rendering.
+
+    Arbitrary hypothesis meta may describe a grid that legitimately
+    reorders ``load_campaign`` output relative to insertion order, so
+    runs/errors compare as sorted multisets; field content must still
+    match exactly. (Order preservation under *real* campaign meta is
+    pinned by the differential harness and the unit tests.)
+    """
+    def render(items):
+        return sorted(
+            json.dumps(dataclasses.asdict(i), sort_keys=True, default=str)
+            for i in items
+        )
+
+    return json.dumps(
+        {
+            "runs": render(result.runs),
+            "errors": render(result.errors),
+            "meta": result.meta,
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+def through_store(result):
+    """result -> sqlite -> CampaignResult (fresh handle each time)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "c.sqlite")
+        with CampaignStore(path) as store:
+            store.ingest(result)
+        with CampaignStore(path, readonly=True) as store:
+            return store.load_campaign()
+
+
+def through_json(result):
+    """result -> JSON codec -> CampaignResult."""
+    return campaign_from_dict(json.loads(json.dumps(campaign_to_dict(result))))
+
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+HEAVY = settings(
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- properties -------------------------------------------------------------
+
+
+class TestRunCodec:
+    @FAST
+    @given(run=run_results)
+    def test_run_dict_roundtrip(self, run):
+        assert canon_run(run) == canon_run(run_from_dict(run_to_dict(run)))
+
+    @FAST
+    @given(run=run_results)
+    def test_nan_identity_preserved(self, run):
+        back = run_from_dict(json.loads(json.dumps(run_to_dict(run))))
+        for field in ("ttc", "tw", "tx"):
+            a, b = getattr(run, field), getattr(back, field)
+            if math.isnan(a):
+                assert math.isnan(b)
+            else:
+                assert a == b
+
+
+def canon_run(run):
+    return json.dumps(dataclasses.asdict(run), sort_keys=True, default=str)
+
+
+class TestStoreRoundTrip:
+    @FAST
+    @given(result=campaigns())
+    def test_store_then_json_export_import(self, result):
+        """The whole promised chain, field for field."""
+        from_store = through_store(result)
+        assert canon(from_store) == canon(result)
+        assert canon(through_json(from_store)) == canon(result)
+
+    @FAST
+    @given(result=campaigns())
+    def test_counts_survive(self, result):
+        from_store = through_store(result)
+        assert len(from_store.runs) == len(result.runs)
+        assert len(from_store.errors) == len(result.errors)
+
+    def test_empty_campaign(self):
+        result = CampaignResult(meta={})
+        assert canon(through_store(result)) == canon(result)
+
+    def test_zero_rep_cell_survives(self):
+        # a cell whose every repetition failed: errors but no runs
+        result = CampaignResult(meta={"campaign_seed": 1, "reps": 2})
+        result.errors.append(CellError(1, 8, 0, "lost"))
+        result.errors.append(CellError(1, 8, 1, "lost again"))
+        from_store = through_store(result)
+        assert from_store.runs == []
+        assert from_store.errors == result.errors
+
+    def test_unicode_experiment_note(self):
+        result = CampaignResult(
+            meta={"note": "expérience n°1 — 実験 ✓", "campaign_seed": 5}
+        )
+        result.add(
+            RunResult(
+                exp_id=1, n_tasks=8, rep=0, resources=("ressource-é",),
+                ttc=float("nan"), tw=float("inf"), tw_last=-0.0, tx=1.0,
+                ts=0.0, trp=0.0, pilot_waits=(), units_done=8, restarts=0,
+                events=1, digest="", attribution=(("tw", float("inf")),),
+                attribution_digest="",
+            )
+        )
+        from_store = through_store(result)
+        assert canon(from_store) == canon(result)
+        assert canon(through_json(from_store)) == canon(result)
+
+
+@pytest.mark.slow
+class TestHeavyRandomizedSweep:
+    """The same properties at CI depth (300 examples each)."""
+
+    @HEAVY
+    @given(result=campaigns())
+    def test_store_then_json_export_import(self, result):
+        from_store = through_store(result)
+        assert canon(from_store) == canon(result)
+        assert canon(through_json(from_store)) == canon(result)
+
+    @HEAVY
+    @given(run=run_results)
+    def test_run_codec_roundtrip(self, run):
+        assert canon_run(run) == canon_run(run_from_dict(run_to_dict(run)))
