@@ -12,6 +12,7 @@ Usage::
     python -m repro report campaign.json -o report.html
     python -m repro tail campaign.ndjson
     python -m repro campaign --reps 4 --store campaign.sqlite
+    python -m repro campaign --reps 4 --store campaign.sqlite --resume
     python -m repro migrate campaign_2016.json campaign.sqlite
 
 ``analyze``, ``figures``, ``report``, and ``tail`` accept either a
@@ -36,8 +37,12 @@ import os
 from .cluster import PRESETS
 from .core import Binding, PlannerConfig, RecoveryPolicy
 from .experiments import (
+    EXIT_RESUMABLE,
+    CampaignInterrupted,
     CampaignStore,
     CellProgress,
+    IncompatibleResumeError,
+    ResiliencePolicy,
     RunLedger,
     binding_rationale_study,
     build_environment,
@@ -143,12 +148,45 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for n in sizes
         for rep in range(args.reps)
     ]
+    if args.resume and not args.store:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    if args.store and os.path.exists(args.store) and not is_store(args.store):
+        print(
+            f"error: {args.store} exists and is not a campaign store",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not os.path.exists(args.store):
+        print(
+            f"error: --resume: no store at {args.store}; nothing to "
+            "resume (drop --resume to start a fresh campaign)",
+            file=sys.stderr,
+        )
+        return 2
     on_progress = None if args.quiet else _EtaProgress(grid)
     store = CampaignStore(args.store) if args.store else None
+    if store is not None and not args.resume and store.run_count() > 0:
+        committed = store.run_count()
+        store.close()
+        print(
+            f"error: {args.store} already holds {committed} committed "
+            "run(s); pass --resume to continue it, or point --store at "
+            "a fresh path",
+            file=sys.stderr,
+        )
+        return 2
+    policy = ResiliencePolicy(
+        cell_timeout_s=args.cell_timeout,
+        max_attempts=args.max_attempts,
+        retry_errors=args.retry_errors,
+    )
     # With a store but no NDJSON path the ledger still streams: its
     # records land in the store's ledger table (`repro tail` reads both).
+    # On resume the NDJSON file is appended, not truncated — the prior
+    # session's trail stays forensically intact.
     ledger = (
-        RunLedger(args.ledger, store=store)
+        RunLedger(args.ledger, store=store, append=args.resume)
         if (args.ledger or store is not None) else None
     )
     try:
@@ -163,9 +201,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             on_progress=on_progress,
             ledger=ledger,
             store=store,
+            resume=args.resume,
+            resilience=policy,
         )
         if store is not None:
             store.set_fingerprint("campaign", campaign_fingerprint(result))
+    except IncompatibleResumeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CampaignInterrupted as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        if args.store:
+            print(
+                f"resume with: repro campaign --store {args.store} --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no --store was given, so the completed cells were not "
+                "persisted; re-run with --store to make the campaign "
+                "resumable",
+                file=sys.stderr,
+            )
+        return EXIT_RESUMABLE
     finally:
         if ledger is not None:
             ledger.close()
@@ -226,12 +284,14 @@ def _write_baseline(path: str, key: str, fingerprint: dict) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    summary = None
     if is_store(args.campaign):
         # Store-backed: the fingerprint streams cell by cell through
         # the index; the anomaly scan still needs the materialized view.
         with CampaignStore(args.campaign, readonly=True) as store:
             fingerprint = campaign_fingerprint_from_store(store)
             result = store.load_campaign()
+            summary = store_summary(store)
     else:
         result = load_campaign(args.campaign)
         fingerprint = campaign_fingerprint(result)
@@ -241,6 +301,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"campaign: {len(result.runs)} runs, {len(result.errors)} errors, "
         f"fingerprint {fingerprint['digest'][:12]}"
     )
+    if summary is not None and summary.get("attempts"):
+        print(
+            f"execution history: {summary['attempts']} attempt(s) "
+            f"recorded, {summary['stale_leases']} stale lease(s)"
+        )
+    if summary is not None and summary.get("interrupted"):
+        print(
+            "store is marked interrupted (cleanly drained mid-campaign); "
+            f"resume with `repro campaign --store {args.campaign} --resume`"
+        )
+    elif summary is not None and summary.get("stale_leases"):
+        print(
+            "stale leases mean a previous run died in flight; "
+            f"`repro campaign --store {args.campaign} --resume` reclaims "
+            "them and finishes the grid"
+        )
     for key, cell in sorted(fingerprint["cells"].items()):
         shares = cell["shares"]
         top = max(shares, key=shares.get)
@@ -683,6 +759,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "analyze/figures/report/tail read it directly "
                         "and a live `repro tail FILE` never sees a "
                         "partial row)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a half-finished campaign from --store: "
+                        "skip committed cells, reclaim stale leases, run "
+                        "only the remainder. Refuses (exit 2) if the "
+                        "store was written by a different campaign "
+                        "config. The resumed store's fingerprint is "
+                        "byte-identical to an uninterrupted run's.")
+    p.add_argument("--retry-errors", action="store_true",
+                   help="with --resume: re-attempt cells previously "
+                        "quarantined as errors instead of skipping them")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-time budget; hung workers are "
+                        "killed and their cells retried, then "
+                        "quarantined after --max-attempts "
+                        "(default: no timeout)")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="dispatches of one cell (timeouts and worker "
+                        "crashes both count) before it is quarantined "
+                        "as a poison cell (default: %(default)s)")
 
     p = sub.add_parser("figures", help="render figures from a saved campaign")
     p.add_argument("campaign",

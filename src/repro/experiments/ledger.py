@@ -12,11 +12,23 @@ disk.
 Line kinds::
 
     {"kind": "campaign-start", "total": 16, "meta": {...}, "wall": ...}
+    {"kind": "campaign_resumed", "committed": 9, "errors_skipped": 0,
+     "errors_retried": 1, "reclaimed": 2, "remaining": 7, "wall": ...}
+    {"kind": "attempt_started", "exp": 3, "n": 256, "rep": 1,
+     "attempt": 2, "worker": 12345, "wall": ...}
+    {"kind": "attempt_timeout", "exp": 3, "n": 256, "rep": 1,
+     "attempt": 2, "budget_s": 30.0, "wall": ...}
+    {"kind": "cell_retried", "exp": 3, "n": 256, "rep": 1,
+     "attempt": 3, "backoff_s": 0.7, "wall": ...}
     {"kind": "cell", "exp": 3, "n": 256, "rep": 1, "ok": true,
      "wall_s": 0.41, "worker": 12345, "ttc": 5012.3,
      "digest": "...", "attribution_digest": "...",
      "anomalies": ["incomplete"], ...}
-    {"kind": "campaign-end", "completed": 15, "errors": 1, "wall_s": ...}
+    {"kind": "campaign-end", "completed": 15, "errors": 1, "wall_s": ...,
+     "interrupted": false}
+
+(The attempt/resume events keep the snake_case names of the resilience
+layer that emits them; see :mod:`repro.experiments.resilience`.)
 
 Wall timestamps are operational metadata (they differ run to run); the
 deterministic content — coordinates, virtual-time results, digests — is
@@ -58,13 +70,18 @@ class RunLedger:
     tail`` reads either. At least one sink must be given.
     """
 
-    def __init__(self, path: Optional[str] = None, store=None) -> None:
+    def __init__(
+        self, path: Optional[str] = None, store=None, append: bool = False
+    ) -> None:
         if path is None and store is None:
             raise ValueError("RunLedger needs a path, a store, or both")
         self.path = path
         self.store = store
+        # a resumed campaign appends to the interrupted session's ledger
+        # instead of truncating its history.
+        mode = "a" if append else "w"
         self._fh: Optional[IO[str]] = (
-            open(path, "w", encoding="utf-8") if path is not None else None
+            open(path, mode, encoding="utf-8") if path is not None else None
         )
 
     # -- record emitters -------------------------------------------------------
@@ -112,13 +129,66 @@ class RunLedger:
         self._emit(record)
 
     def campaign_end(
-        self, completed: int, errors: int, wall_s: float
+        self, completed: int, errors: int, wall_s: float,
+        interrupted: bool = False,
     ) -> None:
         self._emit({
             "kind": "campaign-end",
             "completed": completed,
             "errors": errors,
             "wall_s": wall_s,
+            "interrupted": interrupted,
+            "wall": time.time(),
+        })
+
+    def campaign_resumed(
+        self, committed: int, errors_skipped: int, errors_retried: int,
+        reclaimed: int, remaining: int,
+    ) -> None:
+        """A resumed session taking over a half-finished store."""
+        self._emit({
+            "kind": "campaign_resumed",
+            "committed": committed,
+            "errors_skipped": errors_skipped,
+            "errors_retried": errors_retried,
+            "reclaimed": reclaimed,
+            "remaining": remaining,
+            "wall": time.time(),
+        })
+
+    def attempt_started(
+        self, cell, attempt: int, worker: Optional[int] = None
+    ) -> None:
+        exp_id, n_tasks, rep = cell
+        record: Dict[str, Any] = {
+            "kind": "attempt_started",
+            "exp": exp_id, "n": n_tasks, "rep": rep,
+            "attempt": attempt,
+            "wall": time.time(),
+        }
+        if worker is not None:
+            record["worker"] = worker
+        self._emit(record)
+
+    def attempt_timeout(self, cell, attempt, budget_s: float) -> None:
+        exp_id, n_tasks, rep = cell
+        self._emit({
+            "kind": "attempt_timeout",
+            "exp": exp_id, "n": n_tasks, "rep": rep,
+            "attempt": attempt,
+            "budget_s": budget_s,
+            "wall": time.time(),
+        })
+
+    def cell_retried(
+        self, cell, attempt: int, backoff_s: float = 0.0
+    ) -> None:
+        exp_id, n_tasks, rep = cell
+        self._emit({
+            "kind": "cell_retried",
+            "exp": exp_id, "n": n_tasks, "rep": rep,
+            "attempt": attempt,
+            "backoff_s": backoff_s,
             "wall": time.time(),
         })
 
@@ -191,30 +261,59 @@ def read_ledger_any(path: str) -> List[Dict[str, Any]]:
     return read_ledger(path)
 
 
+def _cell_key(rec: Dict[str, Any], index: int):
+    """Coordinates key for deduping cell records across resumed sessions.
+
+    A retried cell (``--retry-errors``) emits a second ``cell`` record
+    in the resumed session; the later record supersedes the earlier
+    one. Records without coordinates (hand-rolled/legacy) never
+    collide — each keeps its own identity.
+    """
+    exp, n, rep = rec.get("exp"), rec.get("n"), rec.get("rep")
+    if exp is None or n is None or rep is None:
+        return ("_", index)
+    return (exp, n, rep)
+
+
 def ledger_progress(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
-    """Fold ledger records into one progress snapshot."""
+    """Fold ledger records into one progress snapshot.
+
+    Understands resumed campaigns: ``cell`` records are deduplicated by
+    coordinates (last record wins, so a retried error cell counts
+    once), attempt events fold into per-cell attempt counts, and the
+    latest ``campaign_resumed`` record is surfaced as ``resumed``.
+    """
     total = 0
-    done = 0
-    errors = 0
-    anomalies: List[Dict[str, Any]] = []
-    wall_spent = 0.0
-    cell_walls: List[float] = []
     finished = False
-    for rec in records:
+    interrupted = False
+    resumed: Optional[Dict[str, Any]] = None
+    cells: Dict[Any, Dict[str, Any]] = {}
+    attempts: Dict[Any, int] = {}
+    retries = 0
+    timeouts = 0
+    for i, rec in enumerate(records):
         kind = rec.get("kind")
         if kind == "campaign-start":
             total = int(rec.get("total", 0))
+            finished = False
+        elif kind == "campaign_resumed":
+            resumed = rec
+        elif kind == "attempt_started":
+            key = _cell_key(rec, i)
+            attempts[key] = attempts.get(key, 0) + 1
+        elif kind == "attempt_timeout":
+            timeouts += 1
+        elif kind == "cell_retried":
+            retries += 1
         elif kind == "cell":
-            done += 1
-            if not rec.get("ok", False):
-                errors += 1
-            if rec.get("anomalies"):
-                anomalies.append(rec)
-            w = float(rec.get("wall_s", 0.0))
-            wall_spent += w
-            cell_walls.append(w)
+            cells[_cell_key(rec, i)] = rec
         elif kind == "campaign-end":
             finished = True
+            interrupted = bool(rec.get("interrupted", False))
+    done = len(cells)
+    errors = sum(1 for rec in cells.values() if not rec.get("ok", False))
+    anomalies = [rec for rec in cells.values() if rec.get("anomalies")]
+    wall_spent = sum(float(r.get("wall_s", 0.0)) for r in cells.values())
     mean_wall = wall_spent / done if done else 0.0
     remaining = max(0, total - done)
     return {
@@ -222,6 +321,11 @@ def ledger_progress(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "done": done,
         "errors": errors,
         "finished": finished,
+        "interrupted": interrupted,
+        "resumed": resumed,
+        "attempts": attempts,
+        "retries": retries,
+        "timeouts": timeouts,
         "anomalies": anomalies,
         "wall_spent_s": wall_spent,
         "eta_s": mean_wall * remaining,
@@ -235,22 +339,42 @@ def render_tail(records: List[Dict[str, Any]], last: int = 8) -> str:
     frac = done / total if total else 0.0
     bar_w = 32
     fill = int(round(bar_w * min(1.0, frac)))
-    state = "finished" if snap["finished"] else "running"
+    if snap["finished"] and snap["interrupted"]:
+        state = "interrupted (resumable)"
+    elif snap["finished"]:
+        state = "finished"
+    else:
+        state = "running"
     lines = [
         f"campaign {state}: [{'#' * fill}{'.' * (bar_w - fill)}] "
         f"{done}/{total} cells"
         + (f", {snap['errors']} errors" if snap["errors"] else "")
+        + (f", {snap['retries']} retries" if snap["retries"] else "")
         + (
             f", ETA {snap['eta_s']:.0f}s"
             if not snap["finished"] and done else ""
         ),
     ]
+    if snap["resumed"] is not None:
+        r = snap["resumed"]
+        lines.append(
+            f"  resumed: {r.get('committed', 0)} committed skipped, "
+            f"{r.get('errors_retried', 0)} errors retried, "
+            f"{r.get('reclaimed', 0)} stale leases reclaimed, "
+            f"{r.get('remaining', 0)} cells to run"
+        )
     cells = [r for r in records if r.get("kind") == "cell"]
+    attempts = snap["attempts"]
     for rec in cells[-last:]:
         mark = "ok " if rec.get("ok") else "ERR"
         extra = ""
+        n_att = attempts.get(
+            (rec.get("exp"), rec.get("n"), rec.get("rep")), 0
+        )
+        if n_att > 1:
+            extra += f"  att={n_att}"
         if rec.get("anomalies"):
-            extra = "  !" + ",".join(rec["anomalies"])
+            extra += "  !" + ",".join(rec["anomalies"])
         ttc = rec.get("ttc")
         ttc_s = f" TTC={ttc:.0f}s" if isinstance(ttc, (int, float)) else ""
         lines.append(

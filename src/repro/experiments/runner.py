@@ -51,7 +51,12 @@ import importlib
 import logging
 import os
 import time
-from concurrent.futures import as_completed, ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -203,10 +208,37 @@ class RunnerStats:
     wall_s: float = 0.0
     #: total kernel events processed across every repetition.
     events: int = 0
+    #: attempts killed for exceeding the per-cell wall budget.
+    timeouts: int = 0
+    #: cells re-dispatched after a timeout or crash.
+    retried: int = 0
+    #: the campaign was drained by SIGINT/SIGTERM before completing.
+    interrupted: bool = False
 
     @property
     def events_per_sec(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL the pool's workers and reap the executor.
+
+    ``shutdown(wait=True)`` would block on a hung worker, and because
+    workers inherit the parent's benign :class:`ShutdownControl` handler
+    a SIGTERM is shielded too — SIGKILL is the only reliable teardown.
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in procs:
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 - already-dead race
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.join(timeout=5)
+        except Exception:  # noqa: BLE001 - already-reaped race
+            pass
 
 
 def _execute_chunks(
@@ -215,55 +247,204 @@ def _execute_chunks(
     worker_args: Tuple,
     stats: RunnerStats,
     on_cell: Callable[[str, Cell, object, dict], None],
-) -> None:
-    """Drive chunks to completion, surviving worker crashes.
+    supervisor=None,
+    control=None,
+    policy=None,
+    campaign_seed: int = 0,
+) -> bool:
+    """Drive chunks to completion, surviving crashes, hangs, and signals.
 
     Chunks whose futures raise :class:`BrokenProcessPool` are split into
     single-cell chunks and retried in a fresh pool; a cell that breaks a
-    pool twice while running alone is recorded as an error.
+    pool ``policy.max_attempts`` times while running alone is quarantined
+    as an error. When ``policy.cell_timeout_s`` is set, the parent polls
+    in-flight chunks against a ``cell_timeout_s * len(chunk)`` wall
+    budget; an overdue chunk's workers are killed, its cells retried
+    under the same attempt budget (with seeded backoff), and innocent
+    in-flight chunks are requeued without attempt penalty. ``control``
+    drain requests stop new dispatch and let running chunks finish;
+    hard-cancel kills the pool. Returns ``True`` when the campaign was
+    interrupted before completion.
     """
-    pending: List[List[Cell]] = list(chunks)
-    solo_attempts: Dict[Cell, int] = {}
+    from .resilience import ExecutionSupervisor, ResiliencePolicy, ShutdownControl
+
+    supervisor = supervisor if supervisor is not None else ExecutionSupervisor()
+    policy = policy if policy is not None else supervisor.policy
+    control = control if control is not None else ShutdownControl()
+
+    pending: List[List[Cell]] = [list(chunk) for chunk in chunks]
+    solo_crashes: Dict[Cell, int] = {}
+    cell_timeouts: Dict[Cell, int] = {}
+    draining = False
     while pending:
+        if control.draining or control.hard:
+            # drain requested between pool generations: nothing new
+            # starts; requeued cells' leases are already closed.
+            return True
         broken: List[List[Cell]] = []
+        requeue: List[List[Cell]] = []
+        backoff = 0.0
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(pending))
         ) as pool:
-            futures = {
-                pool.submit(_run_chunk, chunk, *worker_args): chunk
-                for chunk in pending
-            }
-            for fut in as_completed(futures):
-                chunk = futures[fut]
-                try:
-                    for status, cell, payload, meta in fut.result():
-                        on_cell(status, cell, payload, meta)
-                except BrokenProcessPool:
-                    broken.append(chunk)
-        if not broken:
-            return
-        stats.pool_restarts += 1
-        log.warning(
-            "worker pool broke; retrying %d chunk(s) solo in a fresh pool",
-            len(broken),
-        )
-        retry: List[List[Cell]] = []
-        for chunk in broken:
-            for cell in chunk:
-                attempts = solo_attempts.get(cell, 0)
-                if len(chunk) == 1:
-                    attempts += 1
-                    solo_attempts[cell] = attempts
-                if attempts >= 2:
-                    on_cell(
-                        "error", cell,
-                        "worker process crashed while running this "
-                        "repetition (twice in isolation)",
-                        {"wall_s": 0.0, "worker": None},
+            futures: Dict = {}
+            for chunk in pending:
+                for cell in chunk:
+                    supervisor.begin(cell)
+                futures[pool.submit(_run_chunk, chunk, *worker_args)] = chunk
+            pending = []
+            started: Dict = {}  # future -> monotonic time first seen running
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done, timeout=policy.poll_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    chunk = futures[fut]
+                    try:
+                        rows = fut.result()
+                    except BrokenProcessPool:
+                        broken.append(chunk)
+                        continue
+                    except CancelledError:
+                        continue  # lease was closed where we cancelled
+                    for status, cell, payload, cmeta in rows:
+                        on_cell(status, cell, payload, cmeta)
+                if not not_done:
+                    break
+                now = time.monotonic()
+                running = [f for f in not_done if f in started or f.running()]
+                for fut in running:
+                    started.setdefault(fut, now)
+                supervisor.heartbeat(
+                    [c for f in running for c in futures[f]]
+                )
+                if control.hard:
+                    _kill_pool(pool)
+                    for fut in not_done:
+                        fut.cancel()
+                        for cell in futures[fut]:
+                            supervisor.close(
+                                cell, "interrupted", "hard-cancelled"
+                            )
+                    return True
+                if control.draining:
+                    if not draining:
+                        draining = True
+                        for fut in list(not_done):
+                            if fut not in started and fut.cancel():
+                                not_done.discard(fut)
+                                for cell in futures[fut]:
+                                    supervisor.close(
+                                        cell, "interrupted",
+                                        "drained before start",
+                                    )
+                    continue  # let running chunks finish and commit
+                if policy.cell_timeout_s is None:
+                    continue
+                overdue = {
+                    f for f in running
+                    if now - started[f]
+                    > policy.cell_timeout_s * len(futures[f])
+                }
+                if not overdue:
+                    continue
+                # one hung worker also wedges pool shutdown, so kill the
+                # whole pool and sort guilty from innocent below.
+                _kill_pool(pool)
+                stats.pool_restarts += 1
+                log.warning(
+                    "%d chunk(s) exceeded the wall budget; killing the "
+                    "pool and retrying",
+                    len(overdue),
+                )
+                for fut in list(not_done):
+                    fut.cancel()
+                    chunk = futures[fut]
+                    if fut in overdue:
+                        budget = policy.cell_timeout_s * len(chunk)
+                        for cell in chunk:
+                            stats.timeouts += 1
+                            count = cell_timeouts.get(cell, 0) + 1
+                            cell_timeouts[cell] = count
+                            supervisor.timeout(cell, budget)
+                            if count >= policy.max_attempts:
+                                on_cell(
+                                    "error", cell,
+                                    f"cell timed out ({count} attempt(s) "
+                                    f"over a {budget:.1f}s wall budget); "
+                                    "quarantined as a poison cell",
+                                    {"wall_s": budget, "worker": None},
+                                )
+                            else:
+                                stats.retried += 1
+                                pause = policy.backoff_s(
+                                    cell, count, campaign_seed
+                                )
+                                backoff = max(backoff, pause)
+                                supervisor.retried(cell, pause)
+                                requeue.append([cell])
+                    else:
+                        if fut.done() and not fut.cancelled():
+                            # finished in the race window between the
+                            # wait() and the teardown: keep the results.
+                            try:
+                                for status, cell, payload, cmeta in (
+                                    fut.result()
+                                ):
+                                    on_cell(status, cell, payload, cmeta)
+                                continue
+                            except (BrokenProcessPool, CancelledError):
+                                pass
+                        # innocent bystanders of the teardown: requeue
+                        # with no attempt penalty.
+                        for cell in chunk:
+                            supervisor.close(
+                                cell, "reclaimed",
+                                "collateral of a timeout teardown",
+                            )
+                        requeue.append(list(chunk))
+                not_done = set()
+        if broken:
+            stats.pool_restarts += 1
+            log.warning(
+                "worker pool broke; retrying %d chunk(s) solo in a "
+                "fresh pool",
+                len(broken),
+            )
+            for chunk in broken:
+                for cell in chunk:
+                    supervisor.close(
+                        cell, "crashed",
+                        "worker pool broke while this cell was in flight",
                     )
+                if len(chunk) == 1:
+                    cell = chunk[0]
+                    count = solo_crashes.get(cell, 0) + 1
+                    solo_crashes[cell] = count
+                    if count >= policy.max_attempts:
+                        on_cell(
+                            "error", cell,
+                            "worker process crashed while running this "
+                            f"repetition ({count} time(s) in isolation)",
+                            {"wall_s": 0.0, "worker": None},
+                        )
+                    else:
+                        stats.retried += 1
+                        supervisor.retried(cell, 0.0)
+                        requeue.append([cell])
                 else:
-                    retry.append([cell])
-        pending = retry
+                    # split: innocent cells complete solo, the guilty
+                    # one starts accruing crash attempts.
+                    for cell in chunk:
+                        requeue.append([cell])
+        pending = requeue
+        if draining or control.draining or control.hard:
+            return True
+        if pending and backoff > 0:
+            time.sleep(min(backoff, 30.0))
+    return False
 
 
 def run_parallel_campaign(
@@ -280,6 +461,9 @@ def run_parallel_campaign(
     stats: Optional[RunnerStats] = None,
     ledger: Optional[RunLedger] = None,
     store=None,
+    resume: bool = False,
+    resilience=None,
+    control=None,
 ) -> CampaignResult:
     """Run the experiment grid on ``jobs`` worker processes.
 
@@ -302,7 +486,24 @@ def run_parallel_campaign(
     the per-cell execution function (used by the crash-containment
     tests). ``stats``, when given, is filled with aggregated runner
     telemetry.
+
+    ``resume=True`` (requires ``store``) continues a half-finished
+    campaign; ``resilience`` is a
+    :class:`~repro.experiments.resilience.ResiliencePolicy` (per-cell
+    wall budgets, retry budgets, ``retry_errors``); SIGINT/SIGTERM
+    drain in-flight chunks and raise
+    :class:`~repro.experiments.resilience.CampaignInterrupted` — see
+    :func:`~repro.experiments.campaign.run_campaign` for the contract.
     """
+    from .resilience import (
+        CampaignInterrupted,
+        ExecutionSupervisor,
+        ResiliencePolicy,
+        ShutdownControl,
+        config_digest,
+        prepare_resume,
+    )
+
     t0 = time.perf_counter()
     jobs = resolve_jobs(jobs)
     experiments = list(experiments)
@@ -316,23 +517,51 @@ def run_parallel_campaign(
     stats = stats if stats is not None else RunnerStats()
     stats.jobs = jobs
     stats.cells = len(grid)
+    policy = resilience if resilience is not None else ResiliencePolicy()
 
     meta = campaign_meta(
         experiments=experiments, task_counts=task_counts, reps=reps,
         campaign_seed=campaign_seed, resource_pool=resource_pool,
     )
+    if resume:
+        if store is None:
+            raise ValueError("resume=True requires a store")
+        plan = prepare_resume(
+            store, meta, grid, retry_errors=policy.retry_errors
+        )
+        remaining = plan.remaining
+    else:
+        plan = None
+        remaining = list(grid)
+    done_offset = len(grid) - len(remaining)
     log.info(
-        "parallel campaign: %d cells on %d worker(s), seed=%d",
-        len(grid), jobs, campaign_seed,
+        "parallel campaign: %d cells (%d to run) on %d worker(s), seed=%d",
+        len(grid), len(remaining), jobs, campaign_seed,
     )
     if store is not None:
         store.set_campaign_meta(meta)
+        store.set_config_digest(config_digest(meta))
     if ledger is not None:
         ledger.campaign_start(len(grid), meta)
+        if plan is not None:
+            ledger.campaign_resumed(
+                committed=len(plan.committed),
+                errors_skipped=len(plan.errors_skipped),
+                errors_retried=len(plan.errors_retried),
+                reclaimed=plan.reclaimed_leases,
+                remaining=len(plan.remaining),
+            )
 
     pool_arg = tuple(resource_pool) if resource_pool is not None else None
     results: Dict[Cell, RunResult] = {}
     errors: Dict[Cell, str] = {}
+    supervisor = ExecutionSupervisor(store=store, ledger=ledger, policy=policy)
+    own_control = control is None
+    if own_control:
+        # parallel parent: poll the flags instead of raising — a raise
+        # could land inside pool bookkeeping and corrupt the teardown.
+        control = ShutdownControl(raise_on_hard=False)
+    control.install()
 
     def on_cell(status: str, cell: Cell, payload: object, cmeta: dict) -> None:
         run: Optional[RunResult] = None
@@ -342,15 +571,13 @@ def run_parallel_campaign(
             results[cell] = run
             stats.completed += 1
             stats.events += getattr(payload, "events", 0)
-            if store is not None:
-                store.put_run(run)
+            supervisor.commit(cell, run, worker=cmeta.get("worker"))
         else:
             error = str(payload)
             errors[cell] = error
             stats.errors += 1
             log.warning("cell %s failed: %s", cell, error)
-            if store is not None:
-                store.put_error(CellError(*cell, error=error))
+            supervisor.fail(cell, error)
         if verbose:
             exp_id, n_tasks, rep = cell
             if run is not None:
@@ -365,7 +592,7 @@ def run_parallel_campaign(
                     f"ERROR {payload}"
                 )
         progress = CellProgress(
-            done=len(results) + len(errors), total=len(grid),
+            done=done_offset + len(results) + len(errors), total=len(grid),
             cell=cell, wall_s=float(cmeta.get("wall_s", 0.0)),
             error=error, ttc=run.ttc if run is not None else float("nan"),
         )
@@ -374,42 +601,92 @@ def run_parallel_campaign(
         if on_progress is not None:
             on_progress(progress)
 
-    if jobs <= 1 or len(grid) <= 1:
-        # Single worker: run in-process. Same code path as the serial
-        # campaign, same results; no pool overhead, and it keeps
-        # ``--jobs 1`` usable on machines where fork is unavailable.
+    interrupted = False
+    try:
+        if jobs <= 1 or len(remaining) <= 1:
+            # Single worker: run in-process. Same code path as the serial
+            # campaign, same results; no pool overhead, and it keeps
+            # ``--jobs 1`` usable on machines where fork is unavailable.
+            for cell in remaining:
+                if control.draining or control.hard:
+                    interrupted = True
+                    break
+                supervisor.begin(cell, worker=os.getpid())
+                try:
+                    for status, c, payload, cmeta in _run_chunk(
+                        [cell], campaign_seed, pool_arg, collect_digests,
+                        run_fn,
+                    ):
+                        on_cell(status, c, payload, cmeta)
+                except KeyboardInterrupt:
+                    supervisor.close(
+                        cell, "interrupted", "hard-cancelled mid-cell"
+                    )
+                    interrupted = True
+                    break
+            stats.chunks = len(remaining)
+        else:
+            chunks = plan_chunks(remaining, jobs)
+            stats.chunks = len(chunks)
+            interrupted = _execute_chunks(
+                chunks, jobs,
+                (campaign_seed, pool_arg, collect_digests, run_fn),
+                stats, on_cell,
+                supervisor=supervisor, control=control, policy=policy,
+                campaign_seed=campaign_seed,
+            )
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        control.restore()
+
+    stats.wall_s = time.perf_counter() - t0
+    if interrupted:
+        stats.interrupted = True
+        if store is not None:
+            store.set_interrupted(True)
+        if ledger is not None:
+            ledger.campaign_end(
+                stats.completed, stats.errors, stats.wall_s,
+                interrupted=True,
+            )
+        partial = CampaignResult(meta=meta)
         for cell in grid:
-            for status, c, payload, cmeta in _run_chunk(
-                [cell], campaign_seed, pool_arg, collect_digests, run_fn
-            ):
-                on_cell(status, c, payload, cmeta)
-        stats.chunks = len(grid)
-    else:
-        chunks = plan_chunks(grid, jobs)
-        stats.chunks = len(chunks)
-        _execute_chunks(
-            chunks, jobs,
-            (campaign_seed, pool_arg, collect_digests, run_fn),
-            stats, on_cell,
+            if cell in results:
+                partial.add(results[cell])
+            elif cell in errors:
+                partial.errors.append(CellError(*cell, error=errors[cell]))
+        raise CampaignInterrupted(
+            "campaign interrupted after "
+            f"{done_offset + len(results) + len(errors)}/{len(grid)} "
+            "cells; the store holds every committed cell",
+            result=partial,
         )
 
     # Re-assemble in grid order: deterministic, independent of worker
     # completion order.
+    session = set(remaining)
     out = CampaignResult(meta=meta)
     for cell in grid:
         if cell in results:
             out.add(results[cell])
         elif cell in errors:
             out.errors.append(CellError(*cell, error=errors[cell]))
-        else:  # pragma: no cover - defensive; every cell resolves above
+        elif cell in session:  # pragma: no cover - defensive; every
+            # dispatched cell resolves above
             out.errors.append(CellError(*cell, error="repetition lost"))
-    stats.wall_s = time.perf_counter() - t0
+    if store is not None:
+        store.set_interrupted(False)
     if ledger is not None:
         ledger.campaign_end(stats.completed, stats.errors, stats.wall_s)
     log.info(
         "campaign done: %d ok, %d errors, %.1fs wall",
         stats.completed, stats.errors, stats.wall_s,
     )
+    if resume and store is not None:
+        # previously committed cells live only in the store; return the
+        # whole campaign in grid order, as an uninterrupted run would.
+        return store.load_campaign()
     return out
 
 

@@ -15,7 +15,13 @@ as the source of truth. One sqlite file (WAL mode) holds
 * ``ledger`` — the NDJSON run-ledger event stream, mirrored row by row
   (``repro tail`` reads either representation);
 * ``fingerprints`` — sentinel campaign fingerprints by key;
-* ``store_meta`` — format version and the campaign provenance dict.
+* ``attempts`` — the per-dispatch lease/attempt history: one row per
+  dispatch of a cell (attempt number, state ``leased``/``committed``/
+  ``failed``/``timeout``/``crashed``/``reclaimed``/``interrupted``/
+  ``drained``, worker pid, wall start/end, parent heartbeat, error) —
+  see :mod:`repro.experiments.resilience`;
+* ``store_meta`` — format version, the campaign provenance dict, its
+  config digest, and the cleanly-interrupted flag.
 
 Concurrency contract: exactly one writer (the campaign runner's parent
 process — workers never touch the store), any number of readers. WAL
@@ -36,6 +42,7 @@ import json
 import logging
 import os
 import sqlite3
+import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -79,6 +86,19 @@ CREATE TABLE IF NOT EXISTS ledger (
     seq    INTEGER PRIMARY KEY AUTOINCREMENT,
     kind   TEXT NOT NULL,
     record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS attempts (
+    exp_id     INTEGER NOT NULL,
+    n_tasks    INTEGER NOT NULL,
+    rep        INTEGER NOT NULL,
+    attempt    INTEGER NOT NULL,
+    state      TEXT NOT NULL,
+    worker     INTEGER,
+    wall_start REAL,
+    wall_end   REAL,
+    heartbeat  REAL,
+    error      TEXT,
+    PRIMARY KEY (exp_id, n_tasks, rep, attempt)
 );
 CREATE TABLE IF NOT EXISTS fingerprints (
     key   TEXT PRIMARY KEY,
@@ -228,6 +248,167 @@ class CampaignStore:
             "INSERT OR REPLACE INTO fingerprints (key, value) VALUES (?, ?)",
             (key, json.dumps(fingerprint, sort_keys=True)),
         )
+
+    # -- leases / attempts -----------------------------------------------------
+
+    def begin_attempt(
+        self, exp_id: int, n_tasks: int, rep: int,
+        worker: Optional[int] = None, now: Optional[float] = None,
+    ) -> int:
+        """Open a ``leased`` attempt row for one dispatch of one cell.
+
+        Attempt numbers continue from whatever the store already holds,
+        so a resumed campaign's history reads as one sequence. Returns
+        the attempt number.
+        """
+        now = time.time() if now is None else now
+        attempt = self._conn.execute(
+            "SELECT COALESCE(MAX(attempt), 0) + 1 FROM attempts "
+            "WHERE exp_id=? AND n_tasks=? AND rep=?",
+            (exp_id, n_tasks, rep),
+        ).fetchone()[0]
+        self._conn.execute(
+            "INSERT INTO attempts "
+            "(exp_id, n_tasks, rep, attempt, state, worker, wall_start, "
+            " heartbeat) VALUES (?, ?, ?, ?, 'leased', ?, ?, ?)",
+            (exp_id, n_tasks, rep, attempt, worker, now, now),
+        )
+        return int(attempt)
+
+    def finish_attempt(
+        self, exp_id: int, n_tasks: int, rep: int, attempt: int,
+        state: str, error: Optional[str] = None,
+        worker: Optional[int] = None, now: Optional[float] = None,
+    ) -> None:
+        """Close one attempt row (``committed``/``failed``/``timeout``...)."""
+        now = time.time() if now is None else now
+        if worker is not None:
+            self._conn.execute(
+                "UPDATE attempts SET state=?, wall_end=?, error=?, worker=? "
+                "WHERE exp_id=? AND n_tasks=? AND rep=? AND attempt=?",
+                (state, now, error, worker, exp_id, n_tasks, rep, attempt),
+            )
+        else:
+            self._conn.execute(
+                "UPDATE attempts SET state=?, wall_end=?, error=? "
+                "WHERE exp_id=? AND n_tasks=? AND rep=? AND attempt=?",
+                (state, now, error, exp_id, n_tasks, rep, attempt),
+            )
+
+    def heartbeat_attempts(
+        self, leases: Iterable[Tuple[Tuple[int, int, int], int]],
+        now: Optional[float] = None,
+    ) -> None:
+        """Stamp the parent-side heartbeat on a batch of open leases."""
+        now = time.time() if now is None else now
+        self._conn.executemany(
+            "UPDATE attempts SET heartbeat=? "
+            "WHERE exp_id=? AND n_tasks=? AND rep=? AND attempt=? "
+            "AND state='leased'",
+            [(now, *cell, attempt) for cell, attempt in leases],
+        )
+
+    def reclaim_stale_leases(self, now: Optional[float] = None) -> int:
+        """Close every still-``leased`` attempt as ``reclaimed``.
+
+        Called by resume planning: any lease left open belongs to a run
+        that died (SIGKILL, power loss) — its cell never committed, so
+        it is safe and necessary to re-dispatch.
+        """
+        now = time.time() if now is None else now
+        cur = self._conn.execute(
+            "UPDATE attempts SET state='reclaimed', wall_end=?, "
+            "error='stale lease reclaimed on resume' WHERE state='leased'",
+            (now,),
+        )
+        return cur.rowcount
+
+    def attempt_rows(
+        self, exp_id: Optional[int] = None, n_tasks: Optional[int] = None,
+        rep: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Attempt history, optionally filtered by coordinates."""
+        clauses, params = [], []
+        for name, value in (
+            ("exp_id", exp_id), ("n_tasks", n_tasks), ("rep", rep)
+        ):
+            if value is not None:
+                clauses.append(f"{name}=?")
+                params.append(value)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        cols = (
+            "exp_id", "n_tasks", "rep", "attempt", "state", "worker",
+            "wall_start", "wall_end", "heartbeat", "error",
+        )
+        rows = self._conn.execute(
+            f"SELECT {', '.join(cols)} FROM attempts{where} "
+            "ORDER BY exp_id, n_tasks, rep, attempt",
+            params,
+        ).fetchall()
+        return [dict(zip(cols, r)) for r in rows]
+
+    def attempt_count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM attempts"
+        ).fetchone()[0]
+
+    def lease_count(self) -> int:
+        """Attempts still open (``leased``) — stale unless a run is live."""
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM attempts WHERE state='leased'"
+        ).fetchone()[0]
+
+    def committed_cells(self) -> set:
+        """Coordinates of every committed repetition."""
+        return {
+            (int(e), int(n), int(r))
+            for e, n, r in self._conn.execute(
+                "SELECT exp_id, n_tasks, rep FROM runs"
+            )
+        }
+
+    def error_cells(self) -> set:
+        """Coordinates of every quarantined repetition."""
+        return {
+            (int(e), int(n), int(r))
+            for e, n, r in self._conn.execute(
+                "SELECT exp_id, n_tasks, rep FROM cell_errors"
+            )
+        }
+
+    def delete_error(self, exp_id: int, n_tasks: int, rep: int) -> None:
+        """Drop one quarantined cell (``--retry-errors`` re-dispatch)."""
+        self._conn.execute(
+            "DELETE FROM cell_errors WHERE exp_id=? AND n_tasks=? AND rep=?",
+            (exp_id, n_tasks, rep),
+        )
+
+    def set_interrupted(self, flag: bool) -> None:
+        """Record (or clear) the cleanly-interrupted marker."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO store_meta (key, value) "
+            "VALUES ('interrupted', ?)",
+            ("1" if flag else "0",),
+        )
+
+    def interrupted(self) -> bool:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key='interrupted'"
+        ).fetchone()
+        return bool(row) and row[0] == "1"
+
+    def set_config_digest(self, digest: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO store_meta (key, value) "
+            "VALUES ('config_digest', ?)",
+            (digest,),
+        )
+
+    def config_digest(self) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key='config_digest'"
+        ).fetchone()
+        return row[0] if row else None
 
     def ingest(self, result: CampaignResult) -> Tuple[int, int]:
         """Import a whole campaign atomically; returns (runs, errors).
@@ -417,4 +598,7 @@ def store_summary(store: CampaignStore) -> Dict[str, Any]:
         "errors": store.error_count(),
         "cells": len(store.cells()),
         "size_bytes": size,
+        "attempts": store.attempt_count(),
+        "stale_leases": store.lease_count(),
+        "interrupted": store.interrupted(),
     }
