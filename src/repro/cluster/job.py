@@ -112,8 +112,9 @@ class BatchJob:
                 f"{new_state.value}"
             )
         old, self.state = self.state, new_state
-        for fn in list(self._callbacks):
-            fn(self, old, new_state)
+        if self._callbacks:
+            for fn in list(self._callbacks):
+                fn(self, old, new_state)
 
     # -- convenience ----------------------------------------------------------
 

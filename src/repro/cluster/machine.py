@@ -19,8 +19,17 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from ..des import ScheduledEvent, Simulation
 from .job import BatchJob, JobState
 from .nodes import NodePool
-from .schedulers import BatchScheduler, EasyBackfillScheduler, SchedulerView
+from .schedulers import (
+    BatchScheduler,
+    EasyBackfillScheduler,
+    RunningMirror,
+    SchedulerView,
+)
 from .schedulers.base import PriorityFn
+
+# Enum .value is a descriptor read; transitions are hot, so cache the
+# per-state trace strings once.
+_JOB_STATE_VALUE = {s: s.value for s in JobState}
 
 
 class SubmissionError(Exception):
@@ -64,9 +73,18 @@ class Cluster:
         self._arrival_order: Dict[int, int] = {}
         self._arrival_seq = 0
         self._running: Dict[int, Tuple[BatchJob, float, ScheduledEvent]] = {}
+        # Scheduler-facing running state, maintained incrementally at
+        # start/finish so dispatch never rebuilds or re-sorts it:
+        # (job, expected_end) pairs plus the end-sorted RunningMirror.
+        self._running_view: Dict[int, Tuple[BatchJob, float]] = {}
+        self._run_mirror = RunningMirror()
         self._dispatch_scheduled = False
         self._offline_until: float = -float("inf")
         self._listeners: List[Callable[[BatchJob, JobState, JobState], None]] = []
+        # Tuple snapshot iterated on the (hot) transition path; rebuilt
+        # whenever a listener registers so mid-iteration registration
+        # cannot perturb an in-flight transition.
+        self._listener_snapshot: tuple = ()
 
         #: (finish_time, wait_seconds, cores) of recently started jobs.
         self.wait_history: Deque[Tuple[float, float, int]] = deque(
@@ -120,6 +138,7 @@ class Cluster:
     ) -> None:
         """Observe every job state transition on this resource."""
         self._listeners.append(fn)
+        self._listener_snapshot = tuple(self._listeners)
 
     def submit(self, job: BatchJob) -> BatchJob:
         """Queue ``job``; it becomes PENDING after the submit overhead."""
@@ -141,6 +160,7 @@ class Cluster:
             self._transition(job, JobState.CANCELLED)
         elif job.state is JobState.RUNNING:
             _, _, end_event = self._running.pop(job.uid)
+            self._drop_running(job.uid)
             self.sim.cancel(end_event)
             self.pool.free(job.uid)
             job.end_time = self.sim.now
@@ -163,6 +183,7 @@ class Cluster:
             self._transition(job, JobState.FAILED)
         elif job.state is JobState.RUNNING:
             _, _, end_event = self._running.pop(job.uid)
+            self._drop_running(job.uid)
             self.sim.cancel(end_event)
             self.pool.free(job.uid)
             job.end_time = self.sim.now
@@ -196,6 +217,7 @@ class Cluster:
         for job, _, end_event in list(self._running.values()):
             self.sim.cancel(end_event)
             self._running.pop(job.uid)
+            self._drop_running(job.uid)
             self.pool.free(job.uid)
             job.end_time = self.sim.now
             self._transition(job, JobState.FAILED)
@@ -220,7 +242,7 @@ class Cluster:
     def _enqueue(self, job: BatchJob) -> None:
         if job.state in (JobState.CANCELLED, JobState.FAILED):
             return  # cancelled/killed during the submit overhead window
-        job.submit_time = self.sim.now
+        job.submit_time = self.sim._now  # property bypass on the hot path
         self._arrival_order[job.uid] = self._arrival_seq
         self._arrival_seq += 1
         # Appending keeps the FIFO queue sorted by construction (removals
@@ -246,7 +268,9 @@ class Cluster:
         """Coalesce dispatches: one scheduler pass per cycle at most."""
         if not self._dispatch_scheduled:
             self._dispatch_scheduled = True
-            at = max(self.sim.now, self._last_dispatch + self.dispatch_interval)
+            now = self.sim._now
+            floor = self._last_dispatch + self.dispatch_interval
+            at = floor if floor > now else now
             # priority=1 so all same-instant submissions/completions land first
             self.sim.call_at(at, self._dispatch, priority=1)
 
@@ -254,22 +278,29 @@ class Cluster:
         self._dispatch_scheduled = False
         if self.is_offline:
             return  # _back_online re-arms dispatching
-        self._last_dispatch = self.sim.now
+        now = self.sim._now
+        self._last_dispatch = now
         if not self._pending:
             return
         if self.priority_fn is not None:
             self._sort_pending()
+        # The view aliases live queue state (see SchedulerView): select
+        # completes before _run_picks mutates anything, so no copies.
         view = SchedulerView(
-            now=self.sim.now,
+            now=now,
             free_cores=self.pool.free_cores,
             total_cores=self.pool.total_cores,
-            pending=tuple(self._pending),
-            running=[
-                (job, expected_end)
-                for job, expected_end, _ in self._running.values()
-            ],
+            pending=self._pending,
+            running=self._running_view.values(),
+            running_ends=self._run_mirror,
         )
         tel = self.sim.telemetry
+        if not tel.enabled:
+            # Fast path: no span bookkeeping, no pass metrics. This is
+            # the configuration campaigns run in, and the span/metric
+            # plumbing costs as much as a small scheduler pass.
+            self._run_picks(self.scheduler.select(view))
+            return
         with tel.span(
             "cluster",
             "scheduler-pass",
@@ -278,42 +309,55 @@ class Cluster:
             pending=len(self._pending),
             free_cores=self.pool.free_cores,
         ):
-            picks = self.scheduler.select(view)
-            seen = set()
-            for job in picks:
-                if job.uid in seen:
-                    raise RuntimeError(
-                        f"scheduler {self.scheduler.name} picked {job.name} twice"
-                    )
-                seen.add(job.uid)
-                self._start(job)
-        if tel.enabled:
-            tel.metrics.counter("cluster.scheduler-passes").inc()
-            tel.metrics.histogram(
-                "cluster.scheduler-pass-length", SCHEDULER_PASS_BUCKETS
-            ).observe(len(view.pending))
+            self._run_picks(self.scheduler.select(view))
+        tel.metrics.counter("cluster.scheduler-passes").inc()
+        tel.metrics.histogram(
+            "cluster.scheduler-pass-length", SCHEDULER_PASS_BUCKETS
+        ).observe(len(view.pending))
+
+    def _run_picks(self, picks: List[BatchJob]) -> None:
+        if not picks:
+            return
+        seen = set()
+        for job in picks:
+            if job.uid in seen:
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name} picked {job.name} twice"
+                )
+            seen.add(job.uid)
+            self._start(job)
 
     def _start(self, job: BatchJob) -> None:
-        if job not in self._pending:
+        # The arrival-order dict keys mirror the pending queue exactly,
+        # so membership is O(1) instead of an O(queue) scan.
+        if job.uid not in self._arrival_order:
             raise RuntimeError(f"scheduler picked non-pending job {job.name}")
         self._pending.remove(job)
-        self._arrival_order.pop(job.uid, None)
-        self.pool.allocate(job.uid, job.cores)
-        job.start_time = self.sim.now
-        duration = min(job.runtime, job.walltime)
-        timed_out = job.runtime > job.walltime
+        del self._arrival_order[job.uid]
+        uid = job.uid
+        cores = job.cores
+        self.pool.allocate(uid, cores)
+        now = self.sim._now
+        job.start_time = now
+        runtime = job.runtime
+        walltime = job.walltime
+        timed_out = runtime > walltime
+        duration = walltime if timed_out else runtime
         end_event = self.sim.call_in(duration, self._finish, job, timed_out)
-        expected_end = self.sim.now + job.walltime
-        self._running[job.uid] = (job, expected_end, end_event)
+        expected_end = now + walltime
+        self._running[uid] = (job, expected_end, end_event)
+        self._running_view[uid] = (job, expected_end)
+        self._run_mirror.start(uid, expected_end, cores)
         self.wait_history.append(
-            (self.sim.now, job.start_time - (job.submit_time or 0.0), job.cores)
+            (now, now - (job.submit_time or 0.0), cores)
         )
         self._transition(job, JobState.RUNNING)
 
     def _finish(self, job: BatchJob, timed_out: bool) -> None:
         self._running.pop(job.uid)
+        self._drop_running(job.uid)
         self.pool.free(job.uid)
-        job.end_time = self.sim.now
+        job.end_time = self.sim._now
         if timed_out:
             self.killed_jobs += 1
             self._transition(job, JobState.TIMEOUT)
@@ -322,17 +366,22 @@ class Cluster:
             self._transition(job, JobState.COMPLETED)
         self._schedule_dispatch()
 
+    def _drop_running(self, uid: int) -> None:
+        """Remove a job from the scheduler-facing running state."""
+        self._running_view.pop(uid)
+        self._run_mirror.finish(uid)
+
     def _transition(self, job: BatchJob, new_state: JobState) -> None:
         old = job.state
         job.advance(new_state)
         self.sim.trace.record(
-            self.sim.now,
+            self.sim._now,
             "batch-job",
             job.name,
-            new_state.value,
+            _JOB_STATE_VALUE[new_state],
             resource=self.name,
             cores=job.cores,
             kind=job.kind,
         )
-        for fn in list(self._listeners):
+        for fn in self._listener_snapshot:
             fn(job, old, new_state)

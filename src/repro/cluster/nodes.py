@@ -10,6 +10,7 @@ can be placed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 
@@ -35,6 +36,20 @@ class NodePool:
         self.nodes = nodes
         self.cores_per_node = cores_per_node
         self._free: List[int] = [cores_per_node] * nodes
+        # Nodes indexed by free-core count: _buckets[f] heaps the node ids
+        # with exactly f free cores, so greedy best-fit placement (fullest
+        # first, lowest index on ties) walks f upward and pops each heap's
+        # min. Entries are lazy: free() moves a node to its new bucket
+        # with a single heappush and leaves the old entry behind; an entry
+        # is live iff ``_free[node]`` still matches its bucket, and
+        # ``_counts[f]`` tracks live entries so the bucket walk never
+        # trusts stale ones. Stale heads are discarded when popped, and
+        # the pool compacts outright if they ever outnumber the nodes.
+        self._buckets: List[List[int]] = [[] for _ in range(cores_per_node + 1)]
+        self._buckets[cores_per_node] = list(range(nodes))
+        self._counts: List[int] = [0] * (cores_per_node + 1)
+        self._counts[cores_per_node] = nodes
+        self._stale = 0
         self._allocations: Dict[int, List[Tuple[int, int]]] = {}
         self.free_cores = nodes * cores_per_node
 
@@ -54,6 +69,27 @@ class NodePool:
     def can_fit(self, cores: int) -> bool:
         return cores <= self.free_cores
 
+    def _pop_live(self, f: int) -> int:
+        """Pop the lowest live node id from bucket ``f`` (caller checked
+        ``_counts[f]``), discarding stale entries that surface first."""
+        b = self._buckets[f]
+        free = self._free
+        node = heappop(b)
+        while free[node] != f:
+            self._stale -= 1
+            node = heappop(b)
+        return node
+
+    def _compact(self) -> None:
+        """Rebuild every bucket without stale entries (rare)."""
+        buckets = [[] for _ in range(self.cores_per_node + 1)]
+        for node, f in enumerate(self._free):
+            buckets[f].append(node)
+        for b in buckets:
+            heapify(b)
+        self._buckets = buckets
+        self._stale = 0
+
     def allocate(self, key: int, cores: int) -> List[Tuple[int, int]]:
         """Allocate ``cores`` for ``key`` (a job uid); returns placements.
 
@@ -69,40 +105,43 @@ class NodePool:
                 f"cannot allocate {cores} cores; only {self.free_cores} free"
             )
         free = self._free
+        buckets = self._buckets
+        counts = self._counts
         if cores == 1:
-            # Single-core tasks dominate the paper's workloads; one linear
-            # scan replaces the full sort. Picks the same node the stable
-            # sort below would: minimal free count, lowest index on ties.
-            best = -1
-            best_free = self.cores_per_node + 1
-            for i in range(self.nodes):
-                f = free[i]
-                if 0 < f < best_free:
-                    best = i
-                    best_free = f
-                    if f == 1:
-                        break
-            free[best] -= 1
-            placement = [(best, 1)]
-            self._allocations[key] = placement
-            self.free_cores -= 1
-            return placement
+            # Single-core tasks dominate the paper's workloads: the first
+            # bucket with a live entry holds the fullest nodes, and its
+            # live min is the lowest index among them.
+            for f in range(1, self.cores_per_node + 1):
+                if counts[f]:
+                    node = self._pop_live(f)
+                    counts[f] -= 1
+                    nf = f - 1
+                    heappush(buckets[nf], node)
+                    counts[nf] += 1
+                    free[node] = nf
+                    placement = [(node, 1)]
+                    self._allocations[key] = placement
+                    self.free_cores -= 1
+                    return placement
+            raise AllocationError("internal packing inconsistency")
         remaining = cores
         placement = []
-        # Fullest-first among nodes with any free cores; tuple sort breaks
-        # ties by node index, matching the stable keyed sort it replaces.
-        order = [i for _, i in sorted(
-            (free[i], i) for i in range(self.nodes) if free[i] > 0
-        )]
-        for i in order:
-            if remaining == 0:
-                break
-            take = min(self._free[i], remaining)
-            self._free[i] -= take
-            placement.append((i, take))
+        f = 1
+        while remaining:
+            if f > self.cores_per_node:  # cannot happen: free_cores checked
+                raise AllocationError("internal packing inconsistency")
+            if not counts[f]:
+                f += 1
+                continue
+            node = self._pop_live(f)
+            counts[f] -= 1
+            take = f if f < remaining else remaining
+            nf = f - take
+            heappush(buckets[nf], node)
+            counts[nf] += 1
+            free[node] = nf
+            placement.append((node, take))
             remaining -= take
-        if remaining:  # cannot happen given the free_cores check
-            raise AllocationError("internal packing inconsistency")
         self._allocations[key] = placement
         self.free_cores -= cores
         return placement
@@ -112,15 +151,29 @@ class NodePool:
         placement = self._allocations.pop(key, None)
         if placement is None:
             raise AllocationError(f"key {key} holds no allocation")
+        buckets = self._buckets
+        counts = self._counts
+        free = self._free
+        stale = self._stale
         for node, take in placement:
-            self._free[node] += take
-            if self._free[node] > self.cores_per_node:
+            f = free[node]
+            nf = f + take
+            if nf > self.cores_per_node:
                 raise AllocationError(f"node {node} over-freed")
+            # The old bucket entry goes stale in place; no list surgery.
+            counts[f] -= 1
+            heappush(buckets[nf], node)
+            counts[nf] += 1
+            free[node] = nf
+            stale += 1
+        self._stale = stale
         self.free_cores += sum(take for _, take in placement)
+        if stale > 4 * self.nodes:
+            self._compact()
 
     def allocation_of(self, key: int) -> Optional[List[Tuple[int, int]]]:
         return self._allocations.get(key)
 
     def busy_nodes(self) -> int:
         """Number of nodes with at least one allocated core."""
-        return sum(1 for f in self._free if f < self.cores_per_node)
+        return self.nodes - self._counts[self.cores_per_node]

@@ -1,7 +1,14 @@
 """Batch scheduling policies for simulated HPC resources."""
 
 from .backfill import ConservativeBackfillScheduler, EasyBackfillScheduler
-from .base import BatchScheduler, PriorityFn, SchedulerView, shadow_schedule
+from .base import (
+    AllocationProfile,
+    BatchScheduler,
+    PriorityFn,
+    RunningMirror,
+    SchedulerView,
+    shadow_schedule,
+)
 from .fcfs import FcfsScheduler
 
 SCHEDULERS = {
@@ -21,11 +28,13 @@ def make_scheduler(name: str) -> BatchScheduler:
 
 
 __all__ = [
+    "AllocationProfile",
     "BatchScheduler",
     "ConservativeBackfillScheduler",
     "EasyBackfillScheduler",
     "FcfsScheduler",
     "PriorityFn",
+    "RunningMirror",
     "SCHEDULERS",
     "SchedulerView",
     "make_scheduler",

@@ -9,14 +9,27 @@ reservation and only starts a job early if it delays none of them.
 Both plan with requested walltimes; user overestimation of walltime is
 what creates the backfill holes that pilots exploit, so modelling this
 faithfully matters for the paper's queue-wait dynamics.
+
+Both schedulers read the cluster's incrementally maintained
+:class:`~.base.RunningMirror` through ``view.running_ends`` — the
+end-sorted running set is patched with start/finish deltas at the
+moment jobs start and finish, never re-sorted per pass. The picks are
+identical to a stateless implementation: a view without a mirror
+(hand-built in tests) falls back to sorting, with the same order.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from bisect import insort
+from typing import List
 
 from ..job import BatchJob
-from .base import BatchScheduler, SchedulerView, shadow_schedule
+from .base import (
+    AllocationProfile,
+    BatchScheduler,
+    SchedulerView,
+    entries_from_running,
+)
 
 
 class EasyBackfillScheduler(BatchScheduler):
@@ -41,11 +54,39 @@ class EasyBackfillScheduler(BatchScheduler):
         if head == n:
             return picks
 
-        # Phase 2: reservation for the (blocked) head.
-        running: List[Tuple[BatchJob, float]] = list(view.running) + [
-            (p, view.now + p.walltime) for p in picks
-        ]
-        shadow, extra = shadow_schedule(pending[head].cores, free, running)
+        # Phase 2: reservation for the (blocked) head, walking the
+        # incrementally maintained end-sorted running set. Phase-1 picks
+        # join with sequence numbers above every running job, which is
+        # exactly where a stable sort of (view.running + picks) by
+        # expected end would place them.
+        mirror = view.running_ends
+        if mirror is not None:
+            entries = mirror.entries
+            seq = mirror.next_seq()
+        else:
+            entries = entries_from_running(view.running)
+            seq = len(view.running)
+        if picks:
+            entries = list(entries)
+            for i, p in enumerate(picks):
+                insort(entries, (view.now + p.walltime, seq + i, p.cores))
+        head_cores = pending[head].cores
+        if head_cores <= free:  # pragma: no cover - head blocked => False
+            shadow, extra = float("-inf"), free - head_cores
+        else:
+            available = free
+            shadow = extra = None  # type: ignore[assignment]
+            for end, _seq, cores in entries:
+                available += cores
+                if available >= head_cores:
+                    shadow, extra = end, available - head_cores
+                    break
+            if shadow is None:
+                # Unreachable when head_cores <= capacity (enforced at
+                # submit).
+                raise ValueError(
+                    "queue head can never fit on this resource"
+                )
 
         # Phase 3: backfill later jobs against the reservation.
         for job in pending[head + 1:]:
@@ -69,59 +110,44 @@ class ConservativeBackfillScheduler(BatchScheduler):
     its whole walltime; a job may start now only if its anchor is *now*.
     This never delays any earlier-queued job, at the cost of fewer
     backfill opportunities than EASY.
+
+    The base profile (capacity releases from running jobs) comes from
+    the cluster's running mirror — start/finish deltas, no per-call
+    sort — and the per-pass reservation plan uses bisect-based
+    breakpoint insertion and a skip-jump anchor search (see
+    :class:`~.base.AllocationProfile`).
     """
 
     name = "conservative-backfill"
 
     def select(self, view: SchedulerView) -> List[BatchJob]:
+        mirror = view.running_ends
+        entries = (
+            mirror.entries if mirror is not None
+            else entries_from_running(view.running)
+        )
+        now = view.now
+        if view.free_cores == 0 and (not entries or entries[0][0] > now):
+            # The profile's level at now would be exactly free_cores
+            # (no release folds into the base level), so nothing can be
+            # picked — skip building the profile entirely.
+            return []
+        profile = AllocationProfile.from_entries(
+            now, view.free_cores, entries
+        )
         picks: List[BatchJob] = []
-        # profile: sorted list of (time, free_cores_from_time_on) breakpoints.
-        events: dict[float, int] = {view.now: view.free_cores}
-        for job, expected_end in view.running:
-            events[expected_end] = events.get(expected_end, 0) + job.cores
-        times = sorted(events)
-        free_at: List[int] = []
-        acc = 0
-        for t in times:
-            acc += events[t]
-            free_at.append(acc)
-
-        def find_anchor(cores: int, walltime: float) -> float:
-            """Earliest breakpoint where `cores` stay free for `walltime`."""
-            for i, t in enumerate(times):
-                # Check the window [t, t + walltime) against the profile.
-                end = t + walltime
-                ok = True
-                for j in range(i, len(times)):
-                    if times[j] >= end:
-                        break
-                    if free_at[j] < cores:
-                        ok = False
-                        break
-                if ok:
-                    return t
-            return times[-1]  # after everything ends, capacity is max
-
-        def reserve(anchor: float, cores: int, walltime: float) -> None:
-            """Subtract `cores` from the profile over [anchor, anchor+walltime)."""
-            nonlocal times, free_at
-            end = anchor + walltime
-            for boundary in (anchor, end):
-                if boundary not in times:
-                    # insert breakpoint, inheriting the previous level
-                    idx = 0
-                    while idx < len(times) and times[idx] < boundary:
-                        idx += 1
-                    level = free_at[idx - 1] if idx > 0 else free_at[0]
-                    times.insert(idx, boundary)
-                    free_at.insert(idx, level)
-            for j, t in enumerate(times):
-                if anchor <= t < end:
-                    free_at[j] -= cores
-
+        free_now = profile.free_at
+        if free_now[0] == 0:
+            return picks  # nothing free at now => nothing can be picked
         for job in view.pending:
-            anchor = find_anchor(job.cores, job.walltime)
-            reserve(anchor, job.cores, job.walltime)
-            if anchor == view.now:
+            anchor = profile.find_anchor(job.cores, job.walltime)
+            profile.reserve(anchor, job.cores, job.walltime)
+            if anchor == now:
                 picks.append(job)
+                # Only jobs anchored at *now* are externally visible; the
+                # profile exists for this pass alone. Once the capacity
+                # free at now is exhausted no later job can anchor there,
+                # so the remaining reservations cannot change the picks.
+                if free_now[0] == 0:
+                    break
         return picks

@@ -12,9 +12,9 @@ they know exactly what a production resource manager would know.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from bisect import bisect_left, bisect_right, insort
 from operator import itemgetter
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..job import BatchJob
 
@@ -22,10 +22,21 @@ from ..job import BatchJob
 #: submission order. The default (None) is plain FIFO.
 PriorityFn = Callable[[BatchJob, float], float]
 
+#: Sorts after every real (end, start_seq, ...) mirror entry with the
+#: same end time; used to bisect the fold prefix in one comparison pass.
+_MAX_SEQ = float("inf")
 
-@dataclass(frozen=True)
-class SchedulerView:
-    """Read-only snapshot handed to a scheduling policy.
+
+class SchedulerView(NamedTuple):
+    """Read-only view handed to a scheduling policy.
+
+    A NamedTuple rather than a frozen dataclass: the cluster builds one
+    per scheduler pass on the hot path, and tuple construction is
+    several times cheaper than per-field ``object.__setattr__``.
+
+    ``pending`` and ``running`` may alias live cluster state — they are
+    valid for the duration of the ``select`` call only, and policies
+    must not retain or mutate them.
 
     Attributes
     ----------
@@ -41,6 +52,11 @@ class SchedulerView:
         ``(job, expected_end)`` pairs for running jobs, where
         ``expected_end = start + walltime`` (the scheduler's knowledge,
         not the job's hidden runtime).
+    running_ends:
+        Optional cluster-maintained end-sorted running mirror (see
+        :class:`RunningMirror`). Backfill policies use it to skip
+        re-sorting ``running``; None (hand-built views) falls back to a
+        stateless sort with identical results.
     """
 
     now: float
@@ -48,6 +64,7 @@ class SchedulerView:
     total_cores: int
     pending: Sequence[BatchJob]
     running: Sequence[Tuple[BatchJob, float]]
+    running_ends: "Optional[RunningMirror]" = None
 
 
 class BatchScheduler(abc.ABC):
@@ -65,6 +82,156 @@ class BatchScheduler(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}>"
+
+
+class RunningMirror:
+    """Incrementally maintained end-sorted mirror of a running set.
+
+    The cluster facade owns one of these and applies job start/finish
+    deltas at the moment they happen — O(log R) bisect insertion and
+    removal — instead of every scheduler pass re-sorting ``view.running``
+    from scratch. ``entries`` stays sorted by
+    ``(expected_end, start_order)``: exactly the order a stable sort of
+    the running view by expected end produces, because start order is
+    the view's iteration order. Backfill schedulers read it through
+    :attr:`SchedulerView.running_ends`; views built without one (e.g.
+    hand-constructed in tests) fall back to :func:`entries_from_running`.
+    """
+
+    __slots__ = ("_jobs", "_seq", "entries", "starts", "finishes")
+
+    def __init__(self) -> None:
+        #: uid -> (expected_end, start_seq)
+        self._jobs: Dict[int, Tuple[float, int]] = {}
+        self._seq = 0
+        #: sorted list of (expected_end, start_seq, cores)
+        self.entries: List[Tuple[float, int, int]] = []
+        self.starts = 0
+        self.finishes = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def next_seq(self) -> int:
+        """A sequence number larger than any start order in the mirror."""
+        return self._seq + 1
+
+    def start(self, uid: int, expected_end: float, cores: int) -> None:
+        """Record that job ``uid`` started, ending at ``expected_end``."""
+        self._seq += 1
+        self._jobs[uid] = (expected_end, self._seq)
+        insort(self.entries, (expected_end, self._seq, cores))
+        self.starts += 1
+
+    def finish(self, uid: int) -> None:
+        """Record that job ``uid`` left the machine (done/killed/cancelled)."""
+        end, seq = self._jobs.pop(uid)
+        del self.entries[bisect_left(self.entries, (end, seq))]
+        self.finishes += 1
+
+
+def entries_from_running(
+    running: Sequence[Tuple[BatchJob, float]],
+) -> List[Tuple[float, int, int]]:
+    """Stateless fallback: mirror-shaped entries from a running view."""
+    return sorted(
+        (end, i, job.cores) for i, (job, end) in enumerate(running)
+    )
+
+
+class AllocationProfile:
+    """Mutable free-capacity step function over time breakpoints.
+
+    ``free_at[i]`` is the number of free cores on the half-open interval
+    ``[times[i], times[i+1])``; the last level extends to infinity, and
+    (for boundaries landing before the first breakpoint) the first level
+    extends flatly backwards. Used by conservative backfilling to plan
+    reservations; all breakpoint insertion is bisect-based.
+    """
+
+    __slots__ = ("times", "free_at")
+
+    def __init__(self, times: List[float], free_at: List[int]) -> None:
+        self.times = times
+        self.free_at = free_at
+
+    @classmethod
+    def from_entries(
+        cls,
+        now: float,
+        free_cores: int,
+        entries: Sequence[Tuple[float, int, int]],
+    ) -> "AllocationProfile":
+        """Profile from mirror entries sorted by (end, start_seq).
+
+        Releases at or before ``now`` fold into the base level (matching
+        the dict-merge semantics of the non-incremental profile build).
+        The folded entries are a prefix of the end-sorted list, found
+        with one bisect instead of a per-entry comparison.
+        """
+        lo = bisect_right(entries, (now, _MAX_SEQ))
+        acc = free_cores
+        for i in range(lo):
+            acc += entries[i][2]
+        times = [now]
+        free_at = [acc]
+        last = now
+        for i in range(lo, len(entries)):
+            end, _seq, cores = entries[i]
+            acc += cores
+            if end == last:
+                free_at[-1] = acc
+            else:
+                times.append(end)
+                free_at.append(acc)
+                last = end
+        return cls(times, free_at)
+
+    def find_anchor(self, cores: int, walltime: float) -> float:
+        """Earliest breakpoint where ``cores`` stay free for ``walltime``.
+
+        Skip-jump search: when the window starting at breakpoint ``i``
+        fails at some breakpoint ``k`` (``free_at[k] < cores``), every
+        anchor up to ``k`` also fails — its window still contains ``k``
+        — so the scan resumes at ``k + 1``. Each breakpoint is examined
+        O(1) times, against the O(n^2) rescan of the naive loop.
+        """
+        times = self.times
+        free_at = self.free_at
+        n = len(times)
+        i = 0
+        while i < n:
+            end = times[i] + walltime
+            j = bisect_left(times, end, i)
+            if j == i or min(free_at[i:j]) >= cores:
+                return times[i]
+            k = j - 1
+            while free_at[k] >= cores:
+                k -= 1
+            i = k + 1
+        return times[-1]  # after everything ends, capacity is max
+
+    def reserve(self, anchor: float, cores: int, walltime: float) -> None:
+        """Subtract ``cores`` over ``[anchor, anchor + walltime)``."""
+        times = self.times
+        free_at = self.free_at
+        end = anchor + walltime
+        lo = self._ensure_breakpoint(anchor)
+        self._ensure_breakpoint(end)
+        for j in range(lo, bisect_left(times, end, lo)):
+            free_at[j] -= cores
+
+    def _ensure_breakpoint(self, boundary: float) -> int:
+        """Insert ``boundary`` (inheriting the level in effect there) if
+        missing; return its index."""
+        times = self.times
+        idx = bisect_left(times, boundary)
+        if idx == len(times) or times[idx] != boundary:
+            free_at = self.free_at
+            level = free_at[idx - 1] if idx > 0 else free_at[0]
+            times.insert(idx, boundary)
+            free_at.insert(idx, level)
+        return idx
 
 
 def shadow_schedule(

@@ -23,8 +23,9 @@ their size/runtime mixes change.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Sequence
+import os
+from dataclasses import astuple, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,6 +120,329 @@ class WorkloadProfile:
         return float(a * p_below + b * p_above + partial)
 
 
+# ---------------------------------------------------------------------------
+# Workload stream memoization
+#
+# Every repetition of a campaign cell regenerates the same background
+# streams: the numpy draws are a pure function of (stream seed state,
+# profile, resource capacity). The cache below records each *semantic*
+# draw — whole jobs, arrival gaps, accept/residual factors — on first
+# use and replays the tape (numpy-free) for every later same-key
+# workload in the process. Replay is safe because:
+#
+# * the key includes the generator's exact initial bit-generator state,
+#   the full profile, and the capacity clamp, so the live draws would be
+#   bit-identical anyway;
+# * each tape op carries its draw kind; a consumer that diverges from
+#   the recorded call sequence (different prime parameters, direct
+#   make_job use) trips a mismatch, which re-derives a live generator by
+#   re-executing the consumed ops from the recorded initial state — the
+#   workload then detaches from the tape and continues live;
+# * a run needing more draws than the tape holds adopts the tape's
+#   resident generator (positioned exactly at the tape end) and extends
+#   the tape for the next user.
+#
+# ``REPRO_WORKLOAD_CACHE=0`` disables the cache; workloads built from an
+# explicitly passed stream (shared with the caller) never use it.
+# ---------------------------------------------------------------------------
+
+
+class _LiveDraws:
+    """Semantic workload draws straight from a numpy generator.
+
+    Draw order inside :meth:`job` matches the historical ``make_job``
+    exactly (choice, lognormal, random, [uniform], integers), so cached
+    and uncached simulations replay the identical history.
+    """
+
+    __slots__ = ("rng", "profile", "max_cores", "_choices", "_weights")
+    mode = "live"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        profile: WorkloadProfile,
+        max_cores: int,
+    ) -> None:
+        self.rng = rng
+        self.profile = profile
+        self.max_cores = max_cores
+        # Pre-converted sampling arrays: job() runs thousands of times
+        # per repetition and the list->ndarray conversion dominated it.
+        self._choices = np.asarray(profile.core_choices)
+        self._weights = np.asarray(profile.core_weights)
+
+    def job(self) -> Tuple[int, float, float, int]:
+        """One job draw: (cores, runtime, walltime, user index)."""
+        rng = self.rng
+        p = self.profile
+        cores = int(rng.choice(self._choices, p=self._weights))
+        if cores > self.max_cores:
+            cores = self.max_cores
+        runtime = float(
+            np.clip(
+                rng.lognormal(p.runtime_log_mean, p.runtime_log_sigma),
+                p.runtime_min,
+                p.runtime_max,
+            )
+        )
+        if rng.random() < p.sloppy_request_fraction:
+            walltime = p.walltime_limit
+        else:
+            factor = rng.uniform(p.overestimate_min, p.overestimate_max)
+            walltime = min(runtime * factor, p.walltime_limit)
+        if walltime < 60.0:
+            walltime = 60.0
+        user = int(rng.integers(p.n_users))
+        return cores, runtime, walltime, user
+
+    def residual(self) -> float:
+        """Residual-life factor for a prime() fill job."""
+        return float(self.rng.uniform(0.25, 1.0))
+
+    def gap(self, scale: float) -> float:
+        """Exponential arrival gap with mean ``scale`` seconds."""
+        return float(self.rng.exponential(scale))
+
+    def accept(self) -> float:
+        """Thinning acceptance draw in [0, 1)."""
+        return float(self.rng.random())
+
+
+class _StreamTape:
+    """One cached stream: recorded ops plus the generator at tape end."""
+
+    __slots__ = ("ops", "init_state", "rng")
+
+    def __init__(
+        self, rng: np.random.Generator, init_state: Dict[str, Any]
+    ) -> None:
+        self.ops: List[Tuple[Any, ...]] = []
+        self.init_state = init_state
+        #: Live generator positioned exactly after ``ops`` — the class
+        #: invariant every record/extend step preserves.
+        self.rng = rng
+
+
+class _RecordingDraws(_LiveDraws):
+    """Live draws that append every value to a tape."""
+
+    __slots__ = ("tape",)
+    mode = "record"
+
+    def __init__(
+        self,
+        tape: _StreamTape,
+        profile: WorkloadProfile,
+        max_cores: int,
+    ) -> None:
+        super().__init__(tape.rng, profile, max_cores)
+        self.tape = tape
+
+    def job(self) -> Tuple[int, float, float, int]:
+        v = super().job()
+        self.tape.ops.append(("j", v))
+        return v
+
+    def residual(self) -> float:
+        v = super().residual()
+        self.tape.ops.append(("res", v))
+        return v
+
+    def gap(self, scale: float) -> float:
+        v = super().gap(scale)
+        # scale rides along so a mismatch fallback can re-execute the op.
+        self.tape.ops.append(("g", v, scale))
+        return v
+
+    def accept(self) -> float:
+        v = super().accept()
+        self.tape.ops.append(("a", v))
+        return v
+
+
+class _ReplayDraws:
+    """Numpy-free draws popped from a recorded tape.
+
+    On tape exhaustion the owning workload is switched to a
+    :class:`_RecordingDraws` that adopts the tape's resident generator
+    and extends the tape; on an op mismatch the consumed prefix is
+    re-executed on a fresh generator and the workload detaches to plain
+    live draws.
+    """
+
+    __slots__ = ("tape", "idx", "workload", "cache")
+    mode = "replay"
+
+    def __init__(
+        self,
+        tape: _StreamTape,
+        workload: "BackgroundWorkload",
+        cache: "WorkloadStreamCache",
+    ) -> None:
+        self.tape = tape
+        self.idx = 0
+        self.workload = workload
+        self.cache = cache
+
+    def job(self) -> Tuple[int, float, float, int]:
+        ops = self.tape.ops
+        i = self.idx
+        if i < len(ops) and ops[i][0] == "j":
+            self.idx = i + 1
+            return ops[i][1]
+        return self._divert("j")
+
+    def residual(self) -> float:
+        ops = self.tape.ops
+        i = self.idx
+        if i < len(ops) and ops[i][0] == "res":
+            self.idx = i + 1
+            return ops[i][1]
+        return self._divert("res")
+
+    def gap(self, scale: float) -> float:
+        ops = self.tape.ops
+        i = self.idx
+        if i < len(ops) and ops[i][0] == "g":
+            self.idx = i + 1
+            return ops[i][1]
+        return self._divert("g", scale)
+
+    def accept(self) -> float:
+        ops = self.tape.ops
+        i = self.idx
+        if i < len(ops) and ops[i][0] == "a":
+            self.idx = i + 1
+            return ops[i][1]
+        return self._divert("a")
+
+    # -- slow paths --------------------------------------------------------
+
+    def _divert(self, code: str, scale: Optional[float] = None):
+        wl = self.workload
+        if self.idx >= len(self.tape.ops):
+            # Exhausted: adopt the tape's generator and extend the tape.
+            self.cache.extensions += 1
+            draws = _RecordingDraws(self.tape, wl.profile, wl.max_cores)
+        else:
+            # Mismatched call sequence: rebuild a live generator by
+            # re-executing the consumed ops from the initial state, then
+            # detach from the tape.
+            self.cache.fallbacks += 1
+            draws = _LiveDraws(
+                _generator_from_state(self.tape.init_state),
+                wl.profile,
+                wl.max_cores,
+            )
+            for op in self.tape.ops[: self.idx]:
+                if op[0] == "j":
+                    draws.job()
+                elif op[0] == "res":
+                    draws.residual()
+                elif op[0] == "g":
+                    draws.gap(op[2])
+                else:
+                    draws.accept()
+        wl._draws = draws
+        wl.rng = draws.rng
+        if code == "j":
+            return draws.job()
+        if code == "res":
+            return draws.residual()
+        if code == "g":
+            return draws.gap(scale)
+        return draws.accept()
+
+
+def _generator_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """Fresh ``np.random.Generator`` restored from a bit-generator state."""
+    bit_cls = getattr(np.random, state["bit_generator"])
+    bg = bit_cls()
+    bg.state = state
+    return np.random.Generator(bg)
+
+
+def _freeze(value: Any) -> Any:
+    """Hashable, order-stable form of a state/profile component."""
+    if isinstance(value, dict):
+        return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class WorkloadStreamCache:
+    """Process-global memo of background-workload draw streams.
+
+    Keys are ``(initial bit-generator state, profile, capacity clamp)``
+    — everything the live draw sequence depends on — so a hit replays
+    exactly the values a fresh generator would produce. Counters feed
+    the diagnostic telemetry gauges and the parallel runner's stats.
+    """
+
+    def __init__(self) -> None:
+        self._tapes: Dict[Any, _StreamTape] = {}
+        self.hits = 0
+        self.misses = 0
+        self.extensions = 0
+        self.fallbacks = 0
+
+    def __len__(self) -> int:
+        return len(self._tapes)
+
+    @property
+    def recorded_ops(self) -> int:
+        """Total semantic draws held across all tapes."""
+        return sum(len(t.ops) for t in self._tapes.values())
+
+    def clear(self) -> None:
+        self._tapes.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "streams": len(self._tapes),
+            "hits": self.hits,
+            "misses": self.misses,
+            "extensions": self.extensions,
+            "fallbacks": self.fallbacks,
+            "recorded_ops": self.recorded_ops,
+        }
+
+    def draws_for(
+        self, workload: "BackgroundWorkload", rng: np.random.Generator
+    ) -> "_LiveDraws | _ReplayDraws":
+        """Recording draws on first sight of a key, replay afterwards."""
+        state = rng.bit_generator.state
+        key = (
+            _freeze(state),
+            _freeze(astuple(workload.profile)),
+            workload.max_cores,
+        )
+        tape = self._tapes.get(key)
+        if tape is None:
+            self.misses += 1
+            tape = self._tapes[key] = _StreamTape(rng, state)
+            return _RecordingDraws(tape, workload.profile, workload.max_cores)
+        self.hits += 1
+        return _ReplayDraws(tape, workload, self)
+
+
+#: The process-wide cache instance ``BackgroundWorkload`` uses by default.
+STREAM_CACHE = WorkloadStreamCache()
+
+
+def stream_cache_stats() -> Dict[str, int]:
+    """Counters of the process-global workload stream cache."""
+    return STREAM_CACHE.stats()
+
+
+def _cache_enabled() -> bool:
+    return os.environ.get("REPRO_WORKLOAD_CACHE", "1") != "0"
+
+
 class BackgroundWorkload:
     """Generates and submits background jobs to one cluster."""
 
@@ -132,15 +456,39 @@ class BackgroundWorkload:
         self.sim = sim
         self.cluster = cluster
         self.profile = profile
+        self.max_cores = cluster.total_cores
+        # The kernel stream is drawn even when a cached tape will serve
+        # the values: rng.draws and the stream registry must not depend
+        # on cache temperature.
         self.rng = stream if stream is not None else sim.rng.get(
             f"workload/{cluster.name}"
         )
         self.submitted = 0
         self._stopped = False
-        # Pre-converted sampling arrays: make_job runs thousands of times
-        # per repetition and the list→ndarray conversion dominated it.
-        self._core_choices = np.asarray(profile.core_choices)
-        self._core_weights = np.asarray(profile.core_weights)
+        # Interned user labels: one f-string format per account, not one
+        # per sampled job.
+        self._user_labels = [f"bg{i:02d}" for i in range(profile.n_users)]
+        if (
+            stream is None
+            and type(self) is BackgroundWorkload
+            and _cache_enabled()
+        ):
+            self._draws = STREAM_CACHE.draws_for(self, self.rng)
+        else:
+            # Caller-owned streams may be shared with other consumers,
+            # and subclasses may draw differently: stay live.
+            self._draws = _LiveDraws(self.rng, profile, self.max_cores)
+        metrics = sim.telemetry.metrics
+        metrics.gauge(
+            "workload.stream-cache-hits",
+            lambda: STREAM_CACHE.hits,
+            diagnostic=True,
+        )
+        metrics.gauge(
+            "workload.stream-cache-misses",
+            lambda: STREAM_CACHE.misses,
+            diagnostic=True,
+        )
         # Arrival rate so that E[cores * runtime] * lambda = load * capacity.
         work_per_job = profile.mean_cores * profile.mean_runtime
         self.base_rate = (
@@ -150,32 +498,19 @@ class BackgroundWorkload:
     # -- job synthesis ----------------------------------------------------------
 
     def make_job(self) -> BatchJob:
-        """Sample one background job from the profile."""
-        p = self.profile
-        cores = int(
-            self.rng.choice(self._core_choices, p=self._core_weights)
-        )
-        cores = min(cores, self.cluster.total_cores)
-        runtime = float(
-            np.clip(
-                self.rng.lognormal(p.runtime_log_mean, p.runtime_log_sigma),
-                p.runtime_min,
-                p.runtime_max,
-            )
-        )
-        if self.rng.random() < p.sloppy_request_fraction:
-            walltime = p.walltime_limit
-        else:
-            factor = self.rng.uniform(p.overestimate_min, p.overestimate_max)
-            walltime = min(runtime * factor, p.walltime_limit)
-        # Note: walltime may undercut runtime when runtime is near the queue
-        # limit; such jobs get killed at the limit, as on real systems.
-        user = f"bg{int(self.rng.integers(self.profile.n_users)):02d}"
+        """Sample one background job from the profile.
+
+        All randomness flows through ``self._draws`` (re-read per call:
+        replay may swap it for a live generator mid-stream). Walltime may
+        undercut runtime when runtime is near the queue limit; such jobs
+        get killed at the limit, as on real systems.
+        """
+        cores, runtime, walltime, user = self._draws.job()
         return BatchJob(
             cores=cores,
             runtime=runtime,
-            walltime=max(walltime, 60.0),
-            user=user,
+            walltime=walltime,
+            user=self._user_labels[user],
             kind="background",
         )
 
@@ -199,12 +534,13 @@ class BackgroundWorkload:
     def _arrivals(self):
         # Thinning algorithm for the non-homogeneous Poisson process.
         rate_max = self.base_rate * (1 + self.profile.diurnal_amplitude)
+        scale = 1.0 / rate_max
         while not self._stopped:
-            gap = self.rng.exponential(1.0 / rate_max)
+            gap = self._draws.gap(scale)
             yield self.sim.timeout(gap)
             if self._stopped:
                 return
-            if self.rng.random() <= self.rate_at(self.sim.now) / rate_max:
+            if self._draws.accept() <= self.rate_at(self.sim.now) / rate_max:
                 self.cluster.submit(self.make_job())
                 self.submitted += 1
 
@@ -244,9 +580,7 @@ class BackgroundWorkload:
             if planned + job.cores > capacity:
                 misses += 1
                 continue
-            job.runtime = max(
-                60.0, job.runtime * float(self.rng.uniform(0.25, 1.0))
-            )
+            job.runtime = max(60.0, job.runtime * self._draws.residual())
             self.cluster.submit(job)
             planned += job.cores
             injected += 1

@@ -8,7 +8,6 @@ exact same event order.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
@@ -94,6 +93,12 @@ class ScheduledEvent:
 class EventQueue:
     """Deterministic priority queue of :class:`ScheduledEvent` records.
 
+    Heap entries are ``(time, priority, seq, event)`` tuples rather than
+    the events themselves: tuple comparison resolves entirely in C, so
+    heap sifts never call back into :meth:`ScheduledEvent.__lt__`. The
+    ``seq`` component is unique, so comparison never reaches the event
+    slot and the ordering is the same strict total order.
+
     Cancellation is lazy — dead entries keep their heap slot until they
     surface — but bounded: whenever cancelled entries outnumber live
     ones the heap is compacted, so a workload that schedules and cancels
@@ -104,10 +109,20 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple] = []
+        self._seq = 0  # plain int: += 1 beats next(count()) on the hot path
         self._live = 0
         self._cancelled = 0  # dead entries still occupying heap slots
+        #: Set by AdaptiveEventQueue promotion: the calendar queue that
+        #: adopted this heap's events. A ``pop_until`` reference hoisted
+        #: before the promotion (the kernel hoists one per run) keeps
+        #: working by forwarding to it once the heap is drained.
+        self._redirect = None
+        #: Cumulative counters surfaced through the telemetry registry.
+        self.pushed = 0
+        self.popped = 0
+        self.cancels = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -125,9 +140,12 @@ class EventQueue:
         """Insert a callback at simulated ``time`` and return its handle."""
         if time != time:  # NaN guard
             raise SchedulingError("event time is NaN")
-        ev = ScheduledEvent(time, priority, next(self._seq), callback, args)
-        heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, priority, seq, callback, args)
+        heappush(self._heap, (time, priority, seq, ev))
         self._live += 1
+        self.pushed += 1
         return ev
 
     def cancel(self, event: ScheduledEvent) -> None:
@@ -140,22 +158,24 @@ class EventQueue:
         event.cancel()
         self._live -= 1
         self._cancelled += 1
+        self.cancels += 1
         if self._cancelled > self._live and len(self._heap) >= _COMPACT_MIN:
             self._compact()
 
     def _compact(self) -> None:
         """Rebuild the heap without dead entries (O(live), order-preserving)."""
-        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
         heapify(self._heap)
         self._cancelled = 0
+        self.compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event, or None if empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3].cancelled:
             heappop(heap)
             self._cancelled -= 1
-        return heap[0].time if heap else None
+        return heap[0][0] if heap else None
 
     def pop(self) -> ScheduledEvent:
         """Remove and return the next live event."""
@@ -171,18 +191,22 @@ class EventQueue:
         into a single pass over the heap head.
         """
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3].cancelled:
             heappop(heap)
             self._cancelled -= 1
-        if not heap or heap[0].time > limit:
+        if not heap or heap[0][0] > limit:
+            redirect = self._redirect
+            if redirect is not None:
+                return redirect.pop_until(limit)
             return None
-        ev = heappop(heap)
+        ev = heappop(heap)[3]
         ev.fired = True
         self._live -= 1
+        self.popped += 1
         return ev
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
     """One timestamped entry in a simulation trace."""
 

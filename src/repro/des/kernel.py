@@ -8,21 +8,39 @@ whole middleware stack advances on a single, deterministic timeline.
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..telemetry import TelemetryHub
+from .calendar import make_event_queue
 from .errors import SchedulingError, SimulationError
-from .events import EventQueue, ScheduledEvent, Tracer
+from .events import _CANCELLED, ScheduledEvent, Tracer
 from .process import AllOf, AnyOf, Process, Signal, Timeout, Waitable
 from .rng import RngStreams
 
 
 class Simulation:
-    """Deterministic discrete-event simulation kernel."""
+    """Deterministic discrete-event simulation kernel.
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
-        self._queue = EventQueue()
+    ``event_queue`` selects the scheduling backend: ``"heap"`` (binary
+    heap), ``"calendar"`` (calendar queue), or ``"auto"`` (heap that
+    promotes itself to a calendar queue on large event populations).
+    All backends pop in the identical ``(time, priority, seq)`` order,
+    so the simulated history — and every digest derived from it — is
+    backend-independent. Defaults to the ``REPRO_DES_QUEUE`` environment
+    variable, falling back to ``"auto"``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        event_queue: Optional[str] = None,
+    ) -> None:
+        backend = event_queue or os.environ.get("REPRO_DES_QUEUE") or "auto"
+        self.queue_backend = backend
+        self._queue = make_event_queue(backend)
         self._now = float(start_time)
         self._running = False
         self.events_processed = 0
@@ -31,13 +49,32 @@ class Simulation:
         self.telemetry = TelemetryHub(
             clock=lambda: self._now, run_id=f"sim-{seed}"
         )
-        self.telemetry.metrics.gauge("kernel.heap-size", lambda: len(self._queue))
-        self.telemetry.metrics.gauge(
+        metrics = self.telemetry.metrics
+        metrics.gauge("kernel.heap-size", lambda: len(self._queue))
+        metrics.gauge(
             "kernel.events-processed", lambda: self.events_processed
         )
-        self.telemetry.metrics.gauge("kernel.virtual-time", lambda: self._now)
-        self.telemetry.metrics.gauge("rng.draws", lambda: self.rng.draws)
-        self.telemetry.metrics.gauge("rng.streams", lambda: len(self.rng))
+        metrics.gauge("kernel.virtual-time", lambda: self._now)
+        # Deterministic queue counters: identical across backends and
+        # across serial/parallel runs, so they may enter sampled
+        # snapshots (and hence telemetry digests) safely.
+        metrics.gauge("kernel.events-pushed", lambda: self._queue.pushed)
+        metrics.gauge("kernel.events-popped", lambda: self._queue.popped)
+        metrics.gauge("kernel.events-cancelled", lambda: self._queue.cancels)
+        # Backend machinery state (compaction cadence differs between
+        # heap and calendar): diagnostic, excluded from digests.
+        metrics.gauge(
+            "kernel.queue-compactions",
+            lambda: self._queue.compactions,
+            diagnostic=True,
+        )
+        metrics.gauge(
+            "kernel.queue-resizes",
+            lambda: getattr(self._queue, "resizes", 0),
+            diagnostic=True,
+        )
+        metrics.gauge("rng.draws", lambda: self.rng.draws)
+        metrics.gauge("rng.streams", lambda: len(self.rng))
 
     # -- clock ---------------------------------------------------------------
 
@@ -142,7 +179,9 @@ class Simulation:
                     w0 = perf_counter()
                     callback(*ev.args)
                     prof.record(callback, perf_counter() - w0)
-                ev.release()
+                # inlined ev.release() - a method call per event adds up
+                ev.callback = _CANCELLED
+                ev.args = ()
             if until is not None:
                 self._now = until
         finally:
@@ -181,7 +220,9 @@ class Simulation:
                 w0 = perf_counter()
                 callback(*ev.args)
                 prof.record(callback, perf_counter() - w0)
-            ev.release()
+            # inlined ev.release() - a method call per event adds up
+            ev.callback = _CANCELLED
+            ev.args = ()
         if process.ok:
             return process.value
         raise process.exception  # type: ignore[misc]

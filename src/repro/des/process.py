@@ -33,7 +33,15 @@ class Waitable:
     A waitable triggers exactly once, either successfully (with a value) or
     with an exception. Callbacks added after triggering fire immediately via
     the event queue at the current simulated time.
+
+    The hierarchy is slotted: waitables are allocated on the kernel hot
+    path (every timeout and process resume creates one), and slot
+    storage is measurably cheaper than per-instance dicts. Subclasses
+    outside this module may still declare ad-hoc attributes — they get a
+    __dict__ unless they declare __slots__ themselves.
     """
+
+    __slots__ = ("sim", "triggered", "ok", "value", "exception", "_callbacks")
 
     def __init__(self, sim: "Simulation") -> None:
         self.sim = sim
@@ -46,7 +54,10 @@ class Waitable:
     def add_callback(self, fn: Callable[["Waitable"], None]) -> None:
         """Register ``fn`` to run when the waitable triggers."""
         if self.triggered:
-            self.sim.call_at(self.sim.now, fn, self, priority=RESUME_PRIORITY)
+            sim = self.sim
+            # Direct queue push: call_at's past-time guard is vacuous for
+            # an event scheduled at now, and resumptions are hot.
+            sim._queue.push(sim._now, fn, (self,), RESUME_PRIORITY)
         else:
             self._callbacks.append(fn)
 
@@ -70,23 +81,33 @@ class Waitable:
         self.value = value
         self.exception = exc
         callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            self.sim.call_at(self.sim.now, fn, self, priority=RESUME_PRIORITY)
+        if callbacks:
+            sim = self.sim
+            push = sim._queue.push
+            now = sim._now
+            for fn in callbacks:
+                push(now, fn, (self,), RESUME_PRIORITY)
 
 
 class Signal(Waitable):
     """A one-shot event triggered explicitly by user code."""
 
+    __slots__ = ()
+
 
 class Timeout(Waitable):
     """A waitable that succeeds after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "_handle")
 
     def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
         super().__init__(sim)
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         self.delay = delay
-        self._handle = sim.call_in(delay, self._fire, value)
+        # Direct queue push; the non-negative check above subsumes
+        # call_in's validation.
+        self._handle = sim._queue.push(sim._now + delay, self._fire, (value,))
 
     def _fire(self, value: Any) -> None:
         if not self.triggered:
@@ -105,6 +126,8 @@ class AnyOf(Waitable):
     The value is a ``(waitable, value)`` pair for the first child to fire.
     A failing child fails the composite.
     """
+
+    __slots__ = ("children",)
 
     def __init__(self, sim: "Simulation", children: Iterable[Waitable]) -> None:
         super().__init__(sim)
@@ -129,6 +152,8 @@ class AllOf(Waitable):
     The value is the list of child values in the original order. The first
     failing child fails the composite.
     """
+
+    __slots__ = ("children", "_pending")
 
     def __init__(self, sim: "Simulation", children: Iterable[Waitable]) -> None:
         super().__init__(sim)
@@ -160,6 +185,8 @@ class Process(Waitable):
     value.
     """
 
+    __slots__ = ("name", "_generator", "_waiting_on")
+
     def __init__(
         self,
         sim: "Simulation",
@@ -173,7 +200,7 @@ class Process(Waitable):
         self._generator = generator
         self._waiting_on: Optional[Waitable] = None
         # Bootstrap: first resume happens via the event queue at `now`.
-        sim.call_at(sim.now, self._resume, None, None, priority=RESUME_PRIORITY)
+        sim._queue.push(sim._now, self._resume, (None, None), RESUME_PRIORITY)
 
     @property
     def is_alive(self) -> bool:

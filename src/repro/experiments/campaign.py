@@ -10,10 +10,12 @@ the paper — a randomized choice/order of target resources.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import logging
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -26,6 +28,28 @@ from ..telemetry.causality import attribute_report
 from .environment import build_environment
 
 log = logging.getLogger(__name__)
+
+
+@contextmanager
+def _gc_paused():
+    """Suspend the cyclic garbage collector for one repetition.
+
+    A repetition allocates hundreds of thousands of short-lived tracked
+    objects (events, trace records, state tuples); with the default
+    thresholds the gen-2 collector fires mid-simulation and costs more
+    than the entire attribution sweep. Pausing for the bounded lifetime
+    of one repetition moves that work to the natural boundary between
+    repetitions. Reentrant (the inner pause is a no-op), and the prior
+    collector state is always restored.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 @dataclass(frozen=True)
@@ -218,29 +242,30 @@ def run_cell_report(
     seeds = ss.generate_state(3)
     rng = np.random.default_rng(seeds[0])
 
-    env = build_environment(
-        seed=int(seeds[1]), resources=resource_pool,
-        telemetry=telemetry,
-    )
-    # Randomized submission instant (irregular intervals, paper §IV.A).
-    env.warm_up(float(rng.uniform(min_warmup_s, max_warmup_s)))
+    with _gc_paused():
+        env = build_environment(
+            seed=int(seeds[1]), resources=resource_pool,
+            telemetry=telemetry,
+        )
+        # Randomized submission instant (irregular intervals, paper §IV.A).
+        env.warm_up(float(rng.uniform(min_warmup_s, max_warmup_s)))
 
-    # Randomized resource choice and submission order (paper §IV.A).
-    pool_names = list(env.pool)
-    chosen = tuple(
-        rng.choice(pool_names, size=spec.n_pilots, replace=False)
-    )
+        # Randomized resource choice and submission order (paper §IV.A).
+        pool_names = list(env.pool)
+        chosen = tuple(
+            rng.choice(pool_names, size=spec.n_pilots, replace=False)
+        )
 
-    skeleton = SkeletonAPI(
-        paper_skeleton(n_tasks, gaussian=spec.gaussian), seed=int(seeds[2])
-    )
-    config = PlannerConfig(
-        binding=spec.binding,
-        unit_scheduler=spec.unit_scheduler,
-        n_pilots=spec.n_pilots,
-        resources=chosen,
-    )
-    report = env.execution_manager.execute(skeleton, config)
+        skeleton = SkeletonAPI(
+            paper_skeleton(n_tasks, gaussian=spec.gaussian), seed=int(seeds[2])
+        )
+        config = PlannerConfig(
+            binding=spec.binding,
+            unit_scheduler=spec.unit_scheduler,
+            n_pilots=spec.n_pilots,
+            resources=chosen,
+        )
+        report = env.execution_manager.execute(skeleton, config)
     return report, env, chosen
 
 
@@ -266,18 +291,20 @@ def run_single(
     executions of the same cell (e.g. serial vs. parallel campaign)
     observed the identical simulated history.
     """
-    report, env, chosen = run_cell_report(
-        spec, n_tasks, rep,
-        campaign_seed=campaign_seed,
-        resource_pool=resource_pool,
-        min_warmup_s=min_warmup_s,
-        max_warmup_s=max_warmup_s,
-        telemetry=collect_digests,
-    )
-    d = report.decomposition
-    # Causal attribution is derived from the entity histories alone, so
-    # it is available (and digest-stable) with or without telemetry.
-    att = attribute_report(report)
+    with _gc_paused():
+        report, env, chosen = run_cell_report(
+            spec, n_tasks, rep,
+            campaign_seed=campaign_seed,
+            resource_pool=resource_pool,
+            min_warmup_s=min_warmup_s,
+            max_warmup_s=max_warmup_s,
+            telemetry=collect_digests,
+        )
+        d = report.decomposition
+        # Causal attribution is derived from the entity histories alone,
+        # so it is available (and digest-stable) with or without
+        # telemetry.
+        att = attribute_report(report)
     log.debug(
         "cell exp=%d n=%d rep=%d: %s",
         spec.exp_id, n_tasks, rep, att.summary(),

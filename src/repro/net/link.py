@@ -11,10 +11,15 @@ grow with task count in the paper's experiments.
 
 from __future__ import annotations
 
+from operator import attrgetter
+
 from typing import Dict, Optional
 
 from ..des import ScheduledEvent, Signal, Simulation
 
+
+#: C-level key extractor for the soonest-to-finish scan.
+_REMAINING = attrgetter("remaining_bytes")
 
 class Transfer(Signal):
     """One flow on a link; waitable, fires when the last byte arrives."""
@@ -148,7 +153,7 @@ class Link:
 
     def _drain_elapsed(self) -> None:
         """Account bytes moved since the last membership change."""
-        now = self.sim.now
+        now = self.sim._now  # property bypass on the hot path
         elapsed = now - self._last_update
         self._last_update = now
         if elapsed <= 0 or not self._active:
@@ -156,8 +161,10 @@ class Link:
         rate = self.effective_bandwidth / len(self._active)
         if rate <= 0:
             return  # partitioned: no bytes moved
+        moved = rate * elapsed
         for t in self._active.values():
-            t.remaining_bytes = max(0.0, t.remaining_bytes - rate * elapsed)
+            left = t.remaining_bytes - moved
+            t.remaining_bytes = left if left > 0.0 else 0.0
 
     def _reschedule(self) -> None:
         if self._completion_event is not None:
@@ -168,7 +175,7 @@ class Link:
         if self.is_partitioned:
             return  # flows stall until the link is restored
         rate = self.effective_bandwidth / len(self._active)
-        soonest = min(self._active.values(), key=lambda t: t.remaining_bytes)
+        soonest = min(self._active.values(), key=_REMAINING)
         delay = soonest.remaining_bytes / rate
         self._completion_event = self.sim.call_in(
             delay, self._on_completion, soonest

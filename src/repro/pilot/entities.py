@@ -19,6 +19,12 @@ from .states import (
 if TYPE_CHECKING:  # pragma: no cover
     from .agent import Agent
 
+# Enum .value goes through DynamicClassAttribute (a descriptor call);
+# state transitions are hot enough that the per-state strings and
+# counter names are precomputed once here.
+_PILOT_COUNTER = {s: f"pilot.state.{s.value}" for s in PilotState}
+_UNIT_COUNTER = {s: f"unit.state.{s.value}" for s in UnitState}
+
 def _next_id(sim: Simulation, kind: str) -> int:
     """Per-simulation entity id allocation.
 
@@ -111,20 +117,23 @@ class ComputePilot:
         if self.is_final:
             return  # late native-job echoes after cancellation are ignored
         self.state = new_state
-        self.history.append(new_state.value, self.sim.now)
+        sv = new_state.value
+        now = self.sim._now  # property bypass on the hot path
+        self.history.append(sv, now)
         self.sim.trace.record(
-            self.sim.now, "pilot", self.uid, new_state.value,
+            now, "pilot", self.uid, sv,
             resource=self.resource, cores=self.cores,
         )
         tel = self.sim.telemetry
         if tel.enabled:
             tel.transition(
-                "pilot", self.uid, new_state.value,
+                "pilot", self.uid, sv,
                 final=new_state in PILOT_FINAL, resource=self.resource,
             )
-            tel.metrics.counter(f"pilot.state.{new_state.value}").inc()
-        for fn in list(self._callbacks):
-            fn(self, new_state)
+            tel.metrics.counter(_PILOT_COUNTER[new_state]).inc()
+        if self._callbacks:
+            for fn in list(self._callbacks):
+                fn(self, new_state)
         if new_state is PilotState.ACTIVE and not self._active.triggered:
             self._active.succeed(self)
         if new_state in PILOT_FINAL:
@@ -196,22 +205,26 @@ class ComputeUnit:
     def advance(self, new_state: UnitState) -> None:
         check_unit_transition(self.state, new_state)
         self.state = new_state
-        self.history.append(new_state.value, self.sim.now)
+        sv = new_state.value
+        now = self.sim._now  # property bypass on the hot path
+        pilot_uid = self.pilot.uid if self.pilot else None
+        self.history.append(sv, now)
         self.sim.trace.record(
-            self.sim.now, "unit", self.uid, new_state.value,
-            name=self.name,
-            pilot=self.pilot.uid if self.pilot else None,
+            now, "unit", self.uid, sv,
+            name=self.description.name,
+            pilot=pilot_uid,
         )
         tel = self.sim.telemetry
         if tel.enabled:
             tel.transition(
-                "unit", self.uid, new_state.value,
+                "unit", self.uid, sv,
                 final=self.is_final,
-                pilot=self.pilot.uid if self.pilot else None,
+                pilot=pilot_uid,
             )
-            tel.metrics.counter(f"unit.state.{new_state.value}").inc()
-        for fn in list(self._callbacks):
-            fn(self, new_state)
+            tel.metrics.counter(_UNIT_COUNTER[new_state]).inc()
+        if self._callbacks:
+            for fn in list(self._callbacks):
+                fn(self, new_state)
         if new_state is UnitState.DONE or new_state is UnitState.CANCELED:
             if not self._final.triggered:
                 self._final.succeed(self)

@@ -58,6 +58,10 @@ class UnitManager:
         self._done_names: Set[str] = set()
         #: name -> unmet dependency names.
         self._deps: Dict[str, Set[str]] = {}
+        #: reverse index: dependency name -> names still waiting on it,
+        #: so a completion touches only its dependents instead of
+        #: scanning every unit's dependency set (quadratic in units).
+        self._rdeps: Dict[str, Set[str]] = {}
         self._reschedule_pending = False
         metrics = sim.telemetry.metrics
         metrics.gauge("units.total", lambda: len(self.units))
@@ -112,6 +116,8 @@ class UnitManager:
                 if d not in self._done_names
             }
             self._deps[unit.name] = unmet
+            for dep in unmet:
+                self._rdeps.setdefault(dep, set()).add(unit.name)
             unit.advance(UnitState.UNSCHEDULED)
             self._unbound.append(unit)
             out.append(unit)
@@ -173,9 +179,10 @@ class UnitManager:
         self._reschedule_pending = False
         if not self._unbound:
             return
+        deps_get = self._deps.get
         eligible = [
             u for u in self._unbound
-            if not self._deps.get(u.name)  # no unmet dependencies
+            if not deps_get(u.description.name)  # no unmet dependencies
         ]
         if not eligible:
             return
@@ -186,6 +193,11 @@ class UnitManager:
                 if not self.health.is_quarantined(p.resource)
             ]
         tel = self.sim.telemetry
+        if not tel.enabled:
+            # Fast path for the campaign configuration: no span
+            # bookkeeping, no pass counters.
+            self._apply_assignments(self.scheduler.assign(eligible, pilots))
+            return
         with tel.span(
             "unit-manager",
             "binding-pass",
@@ -195,12 +207,19 @@ class UnitManager:
             pilots=len(pilots),
         ):
             assignments = self.scheduler.assign(eligible, pilots)
-            for unit, pilot in assignments:
-                self._unbound.remove(unit)
-                self._bind(unit, pilot)
-        if tel.enabled:
-            tel.metrics.counter("unit-manager.binding-passes").inc()
-            tel.metrics.counter("unit-manager.bindings").inc(len(assignments))
+            self._apply_assignments(assignments)
+        tel.metrics.counter("unit-manager.binding-passes").inc()
+        tel.metrics.counter("unit-manager.bindings").inc(len(assignments))
+
+    def _apply_assignments(self, assignments) -> None:
+        if not assignments:
+            return
+        # Drop every newly bound unit from the pool in one sweep — a
+        # per-assignment list.remove makes large binding passes quadratic.
+        bound = set(map(id, (u for u, _ in assignments)))
+        self._unbound = [u for u in self._unbound if id(u) not in bound]
+        for unit, pilot in assignments:
+            self._bind(unit, pilot)
 
     def _bind(self, unit: ComputeUnit, pilot: ComputePilot) -> None:
         unit.pilot = pilot
@@ -309,11 +328,13 @@ class UnitManager:
     # -- reactions ---------------------------------------------------------------------------
 
     def _on_unit_done(self, unit: ComputeUnit) -> None:
-        self._done_names.add(unit.name)
+        name = unit.name
+        self._done_names.add(name)
         changed = False
-        for deps in self._deps.values():
-            if unit.name in deps:
-                deps.discard(unit.name)
+        for dependent in self._rdeps.pop(name, ()):
+            deps = self._deps.get(dependent)
+            if deps and name in deps:
+                deps.discard(name)
                 changed = True
         if changed or self._unbound:
             self._schedule_pass()

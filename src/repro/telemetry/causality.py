@@ -53,6 +53,7 @@ the same shape.
 from __future__ import annotations
 
 import logging
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -240,6 +241,11 @@ class TTCAttribution:
 
 
 def _first_timestamp(history, state: str) -> Optional[float]:
+    # StateHistory.timestamp scans in place; fall back to the list copy
+    # only for duck-typed histories without it.
+    ts = getattr(history, "timestamp", None)
+    if ts is not None:
+        return ts(state)
     for s, t in history.as_list():
         if s == state:
             return t
@@ -371,9 +377,19 @@ def build_graph(
         boot = pilot_boot.get(pilot_uid)
         if boot is not None:
             act.preds.append(boot.key)
-        for other in execs_by_pilot.get(pilot_uid, ()):
-            if other.key != act.key and other.t1 <= act.t0 + _EPS:
-                act.preds.append(other.key)
+    # Handoff edges per pilot via an end-time-sorted index: each exec
+    # links to every same-pilot exec ending by its start. The edge *set*
+    # matches the naive all-pairs scan (order is irrelevant — the gate
+    # pick is a strict max over (t1, rank, -key)) at O(k log k + edges)
+    # instead of O(k^2) comparisons.
+    for p_execs in execs_by_pilot.values():
+        by_t1 = sorted(p_execs, key=lambda a: a.t1)
+        t1s = [a.t1 for a in by_t1]
+        for act in p_execs:
+            cut = bisect_right(t1s, act.t0 + _EPS)
+            if cut:
+                k = act.key
+                act.preds.extend(p.key for p in by_t1[:cut] if p.key != k)
 
     # -- sink: the activity whose completion ended the run --------------------
     sink: Optional[int] = None

@@ -34,14 +34,30 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value: explicitly set, or read through a callback."""
+    """A point-in-time value: explicitly set, or read through a callback.
 
-    __slots__ = ("name", "_value", "fn")
+    A *diagnostic* gauge reports host- or backend-dependent machinery
+    state (heap compactions, cache hit counts) whose value legitimately
+    differs between equivalent runs — e.g. between the heap and calendar
+    event-queue backends, or between serial and forked parallel workers.
+    Diagnostic gauges are excluded from the default :meth:`snapshot` so
+    they never enter sampled telemetry (and therefore never enter run
+    digests), while still showing up in ``render_table`` and in
+    ``snapshot(diagnostics=True)``.
+    """
 
-    def __init__(self, name: str, fn: Optional[Callable[[], Any]] = None) -> None:
+    __slots__ = ("name", "_value", "fn", "diagnostic")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Optional[Callable[[], Any]] = None,
+        diagnostic: bool = False,
+    ) -> None:
         self.name = name
         self._value: Any = None
         self.fn = fn
+        self.diagnostic = diagnostic
 
     def set(self, value: Any) -> None:
         self._value = value
@@ -106,17 +122,27 @@ class MetricsRegistry:
             c = self._counters[name] = Counter(name)
         return c
 
-    def gauge(self, name: str, fn: Optional[Callable[[], Any]] = None) -> Gauge:
+    def gauge(
+        self,
+        name: str,
+        fn: Optional[Callable[[], Any]] = None,
+        diagnostic: bool = False,
+    ) -> Gauge:
         """Get or create a gauge; a non-None ``fn`` (re)binds the callback.
 
         Rebinding matters: each execution builds a fresh UnitManager, and
         the latest one's view is the one a live gauge should report.
+        ``diagnostic=True`` keeps the gauge out of digest-bearing
+        snapshots (see :class:`Gauge`); the flag is sticky once set.
         """
         g = self._gauges.get(name)
         if g is None:
-            g = self._gauges[name] = Gauge(name, fn)
-        elif fn is not None:
-            g.fn = fn
+            g = self._gauges[name] = Gauge(name, fn, diagnostic)
+        else:
+            if fn is not None:
+                g.fn = fn
+            if diagnostic:
+                g.diagnostic = True
         return g
 
     def histogram(self, name: str, boundaries: Sequence[float]) -> Histogram:
@@ -131,14 +157,22 @@ class MetricsRegistry:
 
     # -- read-out ------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
-        """All instruments as one deterministic, JSON-stable dict."""
+    def snapshot(self, diagnostics: bool = False) -> Dict[str, Any]:
+        """All instruments as one deterministic, JSON-stable dict.
+
+        Diagnostic gauges are omitted unless ``diagnostics=True``: the
+        default snapshot feeds the virtual-time sampler and the telemetry
+        digest, which must stay byte-identical across queue backends and
+        serial-vs-parallel execution.
+        """
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
             },
             "gauges": {
-                name: g.read() for name, g in sorted(self._gauges.items())
+                name: g.read()
+                for name, g in sorted(self._gauges.items())
+                if diagnostics or not g.diagnostic
             },
             "histograms": {
                 name: h.as_dict()
@@ -155,7 +189,8 @@ class MetricsRegistry:
         for name, g in sorted(self._gauges.items()):
             value = g.read()
             shown = f"{value:.6g}" if isinstance(value, float) else str(value)
-            lines.append(f"{name:<38} | gauge     | {shown}")
+            kind = "gauge/dx " if g.diagnostic else "gauge    "
+            lines.append(f"{name:<38} | {kind} | {shown}")
         for name, h in sorted(self._histograms.items()):
             mean = h.total / h.count if h.count else 0.0
             lines.append(
