@@ -1,0 +1,160 @@
+"""Observability-plane benchmarks: the monitor must cost (almost) nothing.
+
+The plane's contract is *observation-only*: bus + monitor + HTTP server
+attached to a campaign must neither slow it materially nor perturb a
+single digest. Two gates over the oracle cell (Exp. 3, 256 tasks — the
+same cell ``campaign-cell-exp3-256`` in ``BENCH_campaign.json`` gates):
+
+* **Overhead** — a serial campaign of ``REPS`` oracle cells, run dark
+  and run fully instrumented (ledger -> bus -> monitor -> live server
+  with an SSE client attached), best-of-``ROUNDS`` each. The
+  instrumented wall must stay within ``OVERHEAD_FRACTION`` (3%) of the
+  dark wall, plus a small absolute allowance for scheduler noise, and
+  within ``REGRESSION_FACTOR``x the committed per-cell baseline time.
+* **Digest equivalence** — the instrumented campaign's attribution
+  fingerprint must equal the dark one's byte-for-byte.
+
+Results land under ``campaign-monitor`` in ``BENCH_campaign.json`` via
+the same read-merge-write the other campaign benches use.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from pathlib import Path
+from time import perf_counter
+
+from repro.experiments import (
+    CampaignMonitor,
+    MonitorServer,
+    RunLedger,
+    campaign_fingerprint,
+    run_campaign,
+)
+from repro.telemetry.bus import EventBus
+
+_HERE = Path(__file__).parent
+RESULTS_PATH = _HERE / "BENCH_campaign.json"
+
+#: committed per-cell oracle baseline (see test_bench_campaign).
+KERNEL_KEY = "campaign-cell-exp3-256"
+MONITOR_KEY = "campaign-monitor"
+
+#: the gate the ISSUE names: instrumentation must stay under 3%.
+OVERHEAD_FRACTION = 0.03
+
+#: absolute allowance for scheduler noise between the two arms; on a
+#: ~1.3s measurement this keeps a loaded runner from flaking the gate
+#: without drowning the 3% signal.
+NOISE_S = 0.05
+
+#: wall time may legitimately vary with load; only a doubling fails
+#: the committed-baseline comparison (same policy as the campaign bench).
+REGRESSION_FACTOR = 2.0
+MIN_LIMIT_S = 1.0
+
+#: oracle cells per measured campaign — amortizes per-cell noise so a
+#: 3% relative gate is actually resolvable.
+REPS = 10
+ROUNDS = 3
+
+GRID = dict(
+    experiments=(3,), task_counts=(256,), reps=REPS, campaign_seed=2016,
+)
+
+
+def _flush(key: str, payload: dict) -> None:
+    data: dict = {}
+    if RESULTS_PATH.exists():
+        with open(RESULTS_PATH, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    data[key] = payload
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+
+
+def _run_dark():
+    w0 = perf_counter()
+    result = run_campaign(**GRID)
+    return perf_counter() - w0, result
+
+
+def _run_instrumented():
+    """The full plane: bus, monitor, HTTP server, one live SSE reader."""
+    bus = EventBus()
+    monitor = CampaignMonitor()
+    monitor.attach(bus)
+    server = MonitorServer(monitor).start()
+    sse = urllib.request.urlopen(server.url + "/events", timeout=10)
+    try:
+        with RunLedger(bus=bus) as ledger:
+            w0 = perf_counter()
+            result = run_campaign(ledger=ledger, **GRID)
+            wall = perf_counter() - w0
+        # the plane actually observed the run, not just idled beside it
+        state = json.loads(
+            urllib.request.urlopen(server.url + "/state.json", timeout=10)
+            .read()
+        )
+        assert state["done"] == REPS
+        return wall, result
+    finally:
+        sse.close()
+        server.stop()
+        monitor.stop()
+        bus.close()
+
+
+def test_bench_monitor_overhead_and_digest_parity():
+    dark_wall = instrumented_wall = None
+    dark = instrumented = None
+    for _ in range(ROUNDS):
+        wall, result = _run_dark()
+        if dark_wall is None or wall < dark_wall:
+            dark_wall, dark = wall, result
+        wall, result = _run_instrumented()
+        if instrumented_wall is None or wall < instrumented_wall:
+            instrumented_wall, instrumented = wall, result
+
+    overhead = instrumented_wall - dark_wall
+    _flush(MONITOR_KEY, {
+        "cells": REPS,
+        "dark_wall_s": dark_wall,
+        "instrumented_wall_s": instrumented_wall,
+        "overhead_s": overhead,
+        "overhead_fraction": overhead / dark_wall,
+    })
+
+    # Digest gate first: parity is non-negotiable regardless of timing.
+    dark_fp = campaign_fingerprint(dark)
+    instrumented_fp = campaign_fingerprint(instrumented)
+    assert instrumented_fp["digest"] == dark_fp["digest"], (
+        "attribution fingerprint changed with the monitor attached — "
+        "the observability plane perturbed the campaign"
+    )
+
+    # Overhead gate: within 3% of the dark arm (plus scheduler noise).
+    limit = dark_wall * (1.0 + OVERHEAD_FRACTION) + NOISE_S
+    assert instrumented_wall <= limit, (
+        f"monitor+bus+server overhead {overhead:.3f}s "
+        f"({overhead / dark_wall:.1%}) exceeds {OVERHEAD_FRACTION:.0%} of "
+        f"the unmonitored wall ({dark_wall:.3f}s)"
+    )
+
+    # And the instrumented run must still clear the committed per-cell
+    # baseline the campaign bench gates on.
+    committed = None
+    if RESULTS_PATH.exists():
+        with open(RESULTS_PATH, "r", encoding="utf-8") as fh:
+            committed = json.load(fh).get(KERNEL_KEY)
+    if committed and "wall_s" in committed:
+        per_cell = instrumented_wall / REPS
+        cell_limit = max(
+            committed["wall_s"] * REGRESSION_FACTOR, MIN_LIMIT_S / REPS
+        )
+        assert per_cell <= cell_limit, (
+            f"instrumented oracle cell {per_cell:.3f}s exceeds "
+            f"{REGRESSION_FACTOR}x the committed {KERNEL_KEY} baseline "
+            f"({committed['wall_s']:.3f}s)"
+        )

@@ -11,8 +11,12 @@ Usage::
     python -m repro analyze campaign.json --baseline benchmarks/BENCH_campaign.json
     python -m repro report campaign.json -o report.html
     python -m repro tail campaign.ndjson
+    python -m repro tail campaign.sqlite --json
     python -m repro campaign --reps 4 --store campaign.sqlite
     python -m repro campaign --reps 4 --store campaign.sqlite --resume
+    python -m repro campaign --reps 4 --store campaign.sqlite --serve :8765
+    python -m repro watch campaign.sqlite
+    python -m repro watch --url http://127.0.0.1:8765
     python -m repro migrate campaign_2016.json campaign.sqlite
 
 ``analyze``, ``figures``, ``report``, and ``tail`` accept either a
@@ -39,9 +43,11 @@ from .core import Binding, PlannerConfig, RecoveryPolicy
 from .experiments import (
     EXIT_RESUMABLE,
     CampaignInterrupted,
+    CampaignMonitor,
     CampaignStore,
     CellProgress,
     IncompatibleResumeError,
+    MonitorServer,
     ResiliencePolicy,
     RunLedger,
     binding_rationale_study,
@@ -58,6 +64,10 @@ from .experiments import (
     energy_study,
     migrate_json,
     nonuniform_tasks_study,
+    parse_serve_spec,
+    render_dashboard,
+    state_from_path,
+    state_from_url,
     pilot_count_sweep,
     pool_scaling_study,
     read_ledger,
@@ -181,13 +191,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         retry_errors=args.retry_errors,
     )
+    # --serve: observation-only plane. The ledger publishes every record
+    # to an in-process bus; a monitor folds them into live state behind
+    # /metrics, /events (SSE), and /state.json. Nothing downstream of
+    # the bus can touch execution, so digests are unaffected.
+    bus = monitor = server = None
+    if args.serve is not None:
+        from .telemetry.bus import EventBus
+
+        try:
+            host, port = parse_serve_spec(args.serve)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        bus = EventBus()
+        monitor = CampaignMonitor()
+        if args.resume:
+            # replay the interrupted session's history so the live view
+            # (and SSE replay) starts from the true campaign state.
+            monitor.feed_many(store.ledger_records())
+        monitor.attach(bus)
+        try:
+            server = MonitorServer(monitor, host=host, port=port).start()
+        except OSError as exc:
+            print(f"error: cannot bind --serve {args.serve}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"monitor serving on {server.url} "
+              "(/metrics /events /state.json)", file=sys.stderr)
     # With a store but no NDJSON path the ledger still streams: its
     # records land in the store's ledger table (`repro tail` reads both).
     # On resume the NDJSON file is appended, not truncated — the prior
     # session's trail stays forensically intact.
     ledger = (
-        RunLedger(args.ledger, store=store, append=args.resume)
-        if (args.ledger or store is not None) else None
+        RunLedger(args.ledger, store=store, append=args.resume, bus=bus)
+        if (args.ledger or store is not None or bus is not None) else None
     )
     try:
         result = run_campaign(
@@ -227,6 +265,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         if ledger is not None:
             ledger.close()
+        if server is not None:
+            server.stop()
+        if monitor is not None:
+            monitor.stop()
+        if bus is not None:
+            bus.close()
         if store is not None:
             store.close()
     if args.ledger:
@@ -493,8 +537,58 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     if not os.path.exists(args.ledger):
         print(f"no such ledger: {args.ledger}", file=sys.stderr)
         return 2
-    print(render_tail(read_ledger_any(args.ledger), last=args.last))
+    records = read_ledger_any(args.ledger)
+    if args.json:
+        # machine-readable: every record, one JSON object per line, in
+        # ledger order with stable keys (--last does not apply).
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    print(render_tail(records, last=args.last))
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if (args.source is None) == (args.url is None):
+        print(
+            "error: watch needs exactly one of LEDGER_OR_STORE or --url",
+            file=sys.stderr,
+        )
+        return 2
+    if args.source is not None and not os.path.exists(args.source):
+        print(f"no such ledger or store: {args.source}", file=sys.stderr)
+        return 2
+    color = not args.no_color and sys.stdout.isatty()
+
+    def fetch():
+        if args.url is not None:
+            return state_from_url(args.url)
+        return state_from_path(args.source)
+
+    if args.once:
+        print(render_dashboard(fetch(), color=color))
+        return 0
+    try:
+        while True:
+            try:
+                state = fetch()
+            except OSError as exc:
+                state = None
+                print(f"(source unavailable: {exc})", file=sys.stderr)
+            if state is not None:
+                frame = render_dashboard(state, color=color)
+                # clear screen + home, then the frame; plain reprint
+                # when colors (and thus ANSI control) are off.
+                if color:
+                    print(f"\x1b[2J\x1b[H{frame}", flush=True)
+                else:
+                    print(frame + "\n", flush=True)
+                if state.get("finished"):
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 0
 
 
 def _cmd_migrate(args: argparse.Namespace) -> int:
@@ -779,6 +873,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dispatches of one cell (timeouts and worker "
                         "crashes both count) before it is quarantined "
                         "as a poison cell (default: %(default)s)")
+    p.add_argument("--serve", default=None, metavar="[HOST]:PORT",
+                   help="serve a live observability plane over HTTP "
+                        "while the campaign runs: GET /metrics "
+                        "(Prometheus text), /events (SSE ledger stream "
+                        "with Last-Event-ID resume), /state.json "
+                        "(snapshot). ':0' picks an ephemeral port; the "
+                        "bound URL is printed on stderr. Observation-"
+                        "only: results and digests are unaffected.")
 
     p = sub.add_parser("figures", help="render figures from a saved campaign")
     p.add_argument("campaign",
@@ -829,6 +931,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "a sqlite store from `repro campaign --store`")
     p.add_argument("--last", type=int, default=8,
                    help="show the last N cells (default: %(default)s)")
+    p.add_argument("--json", action="store_true",
+                   help="emit every ledger record as one JSON object "
+                        "per line (machine-readable; --last is ignored)")
+
+    p = sub.add_parser(
+        "watch",
+        help="live ANSI dashboard over a running (or finished) campaign",
+    )
+    p.add_argument("source", nargs="?", default=None,
+                   metavar="LEDGER_OR_STORE",
+                   help="NDJSON ledger or sqlite store to re-read each "
+                        "poll (safe on live files: torn-line-tolerant / "
+                        "WAL multi-reader)")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="poll a live `repro campaign --serve` endpoint "
+                        "instead of a file (its /state.json)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="poll cadence (default: %(default)s)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (no screen clearing)")
+    p.add_argument("--no-color", action="store_true",
+                   help="plain ASCII output (also implied when stdout "
+                        "is not a tty)")
 
     p = sub.add_parser(
         "migrate",
@@ -923,6 +1048,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "report": _cmd_report,
         "tail": _cmd_tail,
+        "watch": _cmd_watch,
         "migrate": _cmd_migrate,
         "ablation": _cmd_ablation,
         "calibrate": _cmd_calibrate,

@@ -65,18 +65,27 @@ class RunLedger:
     """Append-only run-ledger writer the campaign runner streams into.
 
     Writes NDJSON to ``path``, mirrors every record into a
-    :class:`~repro.experiments.store.CampaignStore` ``ledger`` table, or
-    both — the two representations carry identical records and ``repro
-    tail`` reads either. At least one sink must be given.
+    :class:`~repro.experiments.store.CampaignStore` ``ledger`` table,
+    publishes it to an in-process :class:`~repro.telemetry.bus.EventBus`
+    (the live observability plane), or any combination — every sink
+    carries identical records and ``repro tail`` reads either durable
+    one. At least one sink must be given. The bus sink is fire-and-
+    forget and never blocks, so attaching a monitor cannot perturb the
+    campaign (see :mod:`repro.telemetry.bus`).
     """
 
     def __init__(
-        self, path: Optional[str] = None, store=None, append: bool = False
+        self,
+        path: Optional[str] = None,
+        store=None,
+        append: bool = False,
+        bus=None,
     ) -> None:
-        if path is None and store is None:
-            raise ValueError("RunLedger needs a path, a store, or both")
+        if path is None and store is None and bus is None:
+            raise ValueError("RunLedger needs a path, a store, or a bus")
         self.path = path
         self.store = store
+        self.bus = bus
         # a resumed campaign appends to the interrupted session's ledger
         # instead of truncating its history.
         mode = "a" if append else "w"
@@ -123,6 +132,10 @@ class RunLedger:
                 attribution_digest=run.attribution_digest,
                 anomalies=flag_anomalies(run),
             )
+            if run.attribution:
+                # per-component TTC shares; deterministic content the
+                # live dashboard renders as share bars.
+                record["components"] = {k: v for k, v in run.attribution}
         if progress.error is not None:
             record["error"] = progress.error
             record["anomalies"] = ["error"]
@@ -192,10 +205,29 @@ class RunLedger:
             "wall": time.time(),
         })
 
+    def heartbeat(self, cells, workers=()) -> None:
+        """Liveness pulse for in-flight cells — **bus-only**, never persisted.
+
+        Heartbeats are operational noise with no forensic value (the
+        attempts table already timestamps leases durably), so they skip
+        the file and store sinks entirely and only feed live
+        subscribers' worker-liveness views.
+        """
+        if self.bus is None:
+            return
+        self.bus.publish({
+            "kind": "heartbeat",
+            "cells": [list(c) for c in cells],
+            "workers": [int(w) for w in workers],
+            "wall": time.time(),
+        })
+
     # -- plumbing --------------------------------------------------------------
 
     def _emit(self, record: Dict[str, Any]) -> None:
-        if self._fh is None and self.store is None:  # pragma: no cover
+        if (
+            self._fh is None and self.store is None and self.bus is None
+        ):  # pragma: no cover
             log.warning("ledger %s already closed; record dropped", self.path)
             return
         if self._fh is not None:
@@ -203,12 +235,15 @@ class RunLedger:
             self._fh.flush()
         if self.store is not None:
             self.store.append_ledger(record)
+        if self.bus is not None:
+            self.bus.publish(record)
 
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
         self.store = None  # the store handle is owned by the caller
+        self.bus = None  # likewise: subscribers outlive the ledger
 
     def __enter__(self) -> "RunLedger":
         return self

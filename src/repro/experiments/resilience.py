@@ -382,18 +382,25 @@ class ExecutionSupervisor:
     # -- liveness --------------------------------------------------------------
 
     def heartbeat(self, cells: Sequence[Cell]) -> None:
-        """Stamp in-flight leases (rate-limited to ``policy.heartbeat_s``)."""
-        if self.store is None or not cells:
+        """Stamp in-flight leases (rate-limited to ``policy.heartbeat_s``).
+
+        Also pulses the ledger's live bus (if any) with the in-flight
+        cell set — an ephemeral, bus-only event that feeds worker-
+        liveness views without touching the durable sinks.
+        """
+        if not cells:
             return
         now = time.monotonic()
         if now - self._last_heartbeat < self.policy.heartbeat_s:
             return
         self._last_heartbeat = now
         open_cells = [c for c in cells if c in self._open]
-        if open_cells:
+        if self.store is not None and open_cells:
             self.store.heartbeat_attempts(
                 [(c, self._open[c]) for c in open_cells]
             )
+        if self.ledger is not None:
+            self.ledger.heartbeat(open_cells or list(cells))
 
     def session_attempts(self, cell: Cell) -> int:
         """Dispatches of this cell in this session (the retry budget)."""

@@ -46,6 +46,7 @@ from .causality import (
     critical_path,
     sweep_attribution,
 )
+from .bus import EventBus, Subscription
 from .digest import canonical_json, sha256_digest
 from .exporters import (
     chrome_trace,
@@ -55,7 +56,13 @@ from .exporters import (
     trace_records_json,
 )
 from .hub import TelemetryHub, TelemetrySummary
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
 from .profiler import KernelProfiler
 from .report import render_html, save_html
 from .spans import Span, UnclosedSpanError
@@ -64,12 +71,14 @@ __all__ = [
     "COMPONENTS",
     "CausalGraph",
     "Counter",
+    "EventBus",
     "Gauge",
     "Histogram",
     "KernelProfiler",
     "MetricsRegistry",
     "PathSegment",
     "Span",
+    "Subscription",
     "TTCAttribution",
     "TelemetryHub",
     "TelemetrySummary",
@@ -82,6 +91,7 @@ __all__ = [
     "critical_path",
     "otlp_trace",
     "render_html",
+    "render_prometheus",
     "save_chrome_trace",
     "save_html",
     "save_otlp_trace",

@@ -1,0 +1,194 @@
+"""In-process event bus: the fan-out point of the live observability plane.
+
+The campaign runners already narrate everything that happens — ledger
+events, attempt leases, progress — but until this module every consumer
+had to be a file reader. The bus turns that narration into a
+*subscribable stream*: the runner's parent process publishes each
+record once, and any number of in-process consumers (the campaign
+monitor, the SSE endpoint, a test harness) each read their own bounded
+queue of it.
+
+Contract
+--------
+* **Publishing never blocks.** The runner's hot path calls
+  :meth:`EventBus.publish` between cells; a slow or stuck subscriber
+  must not be able to stall the campaign. When a subscriber's queue is
+  full the *oldest* queued event is dropped to make room (live views
+  prefer fresh state over stale backlog) and the drop is counted on
+  the subscription and on the bus.
+* **Observation only.** The bus carries plain dicts the ledger already
+  emits; publishing has no effect on execution, seeding, or digests —
+  a campaign with ten subscribers is byte-identical to one with none.
+* **Thread-safe.** Publishers and subscribers may live on any thread;
+  each subscription has its own lock + condition, so one consumer's
+  slowness never delays another's wakeup.
+
+Consumers that must not miss events (SSE replay, ``repro watch``) do
+not rely on the queue alone: the :class:`~repro.experiments.monitor.
+CampaignMonitor` retains the folded history, and the durable ledger
+file/store is always the ground truth. The queue-drop accounting here
+is the honesty mechanism — a consumer can *see* that it fell behind.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventBus", "Subscription"]
+
+#: default per-subscriber queue bound. Ledger events are small dicts and
+#: campaigns emit a handful per cell; 4096 absorbs any realistic burst
+#: while still bounding a wedged subscriber's memory.
+DEFAULT_MAXSIZE = 4096
+
+
+class Subscription:
+    """One subscriber's bounded event queue.
+
+    Created by :meth:`EventBus.subscribe`; consumed with :meth:`get`
+    (blocking, with timeout) or :meth:`drain` (non-blocking, pop-all).
+    ``dropped`` counts events shed because this consumer fell behind.
+    """
+
+    def __init__(self, bus: "EventBus", maxsize: int, name: str = "") -> None:
+        if maxsize <= 0:
+            raise ValueError("subscription maxsize must be positive")
+        self._bus = bus
+        self.name = name
+        self.maxsize = maxsize
+        self.dropped = 0
+        self.delivered = 0
+        self.closed = False
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+
+    # -- publisher side (called by the bus, lock held briefly) -----------------
+
+    def _offer(self, event: Dict[str, Any]) -> bool:
+        """Enqueue one event; drop-oldest when full. Returns False on drop."""
+        with self._cond:
+            if self.closed:
+                return True
+            dropped = False
+            if len(self._queue) >= self.maxsize:
+                self._queue.popleft()
+                self.dropped += 1
+                dropped = True
+            self._queue.append(event)
+            self._cond.notify_all()
+            return not dropped
+
+    # -- consumer side ---------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Pop the next event, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the subscription is closed
+        and drained — a clean sentinel for consumer loops.
+        """
+        with self._cond:
+            if not self._queue and not self.closed:
+                self._cond.wait(timeout)
+            if not self._queue:
+                return None
+            self.delivered += 1
+            return self._queue.popleft()
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop everything queued right now without blocking."""
+        with self._cond:
+            out = list(self._queue)
+            self._queue.clear()
+            self.delivered += len(out)
+            return out
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Detach from the bus and wake any blocked :meth:`get`."""
+        self._bus.unsubscribe(self)
+
+    def _mark_closed(self) -> None:
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+
+class EventBus:
+    """Thread-safe fan-out of ledger events to bounded subscriber queues."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: List[Subscription] = []
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(
+        self, maxsize: int = DEFAULT_MAXSIZE, name: str = ""
+    ) -> Subscription:
+        """Register a new subscriber; events published later are queued."""
+        sub = Subscription(self, maxsize, name=name)
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach ``sub``; idempotent, wakes its blocked consumers."""
+        with self._lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+        sub._mark_closed()
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Deliver one event to every subscriber; never blocks.
+
+        Full queues shed their oldest event (counted per subscription
+        and on the bus). With no subscribers this is one lock
+        acquisition — cheap enough to leave on unconditionally.
+        """
+        with self._lock:
+            subs = list(self._subs)
+            self.published += 1
+        for sub in subs:
+            if not sub._offer(event):
+                with self._lock:
+                    self.dropped += 1
+
+    @property
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def stats(self) -> Dict[str, Any]:
+        """Publish/drop accounting for metrics and diagnostics."""
+        with self._lock:
+            subs = list(self._subs)
+            return {
+                "published": self.published,
+                "dropped": self.dropped,
+                "subscribers": len(subs),
+                "queues": [
+                    {
+                        "name": s.name,
+                        "queued": len(s),
+                        "delivered": s.delivered,
+                        "dropped": s.dropped,
+                        "maxsize": s.maxsize,
+                    }
+                    for s in subs
+                ],
+            }
+
+    def close(self) -> None:
+        """Detach every subscriber (used at campaign teardown)."""
+        with self._lock:
+            subs = list(self._subs)
+            self._subs.clear()
+        for sub in subs:
+            sub._mark_closed()

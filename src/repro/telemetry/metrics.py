@@ -14,6 +14,7 @@ records and the telemetry digest hashes.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -182,19 +183,93 @@ class MetricsRegistry:
 
     def render_table(self) -> str:
         """Human-readable summary of every instrument."""
-        lines = [f"{'metric':<38} | {'kind':<9} | value"]
+        names = [
+            *self._counters, *self._gauges, *self._histograms, "metric",
+        ]
+        # pad from the longest registered name so long metric names
+        # (>38 chars) keep the columns aligned instead of overflowing.
+        width = max(len(name) for name in names)
+        lines = [f"{'metric':<{width}} | {'kind':<9} | value"]
         lines.append("-" * len(lines[0]))
         for name, c in sorted(self._counters.items()):
-            lines.append(f"{name:<38} | counter   | {c.value}")
+            lines.append(f"{name:<{width}} | counter   | {c.value}")
         for name, g in sorted(self._gauges.items()):
             value = g.read()
             shown = f"{value:.6g}" if isinstance(value, float) else str(value)
             kind = "gauge/dx " if g.diagnostic else "gauge    "
-            lines.append(f"{name:<38} | {kind} | {shown}")
+            lines.append(f"{name:<{width}} | {kind} | {shown}")
         for name, h in sorted(self._histograms.items()):
             mean = h.total / h.count if h.count else 0.0
             lines.append(
-                f"{name:<38} | histogram | n={h.count} mean={mean:.3g} "
+                f"{name:<{width}} | histogram | n={h.count} mean={mean:.3g} "
                 f"buckets={list(h.counts)}"
             )
         return "\n".join(lines)
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str = "") -> str:
+    """Sanitize a dotted registry name into a Prometheus metric name."""
+    out = _PROM_BAD.sub("_", f"{prefix}_{name}" if prefix else name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: Any) -> Optional[str]:
+    """Format a value for exposition; None for non-numeric gauges."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return None
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Operates on the snapshot *shape* rather than a live registry so the
+    same renderer serves the campaign monitor's own gauges, archived
+    snapshots, and worker-side registries alike. Non-numeric gauge
+    values (strings, None) are skipped — the exposition format is
+    numbers only. Histograms emit cumulative ``le`` buckets plus
+    ``_sum``/``_count``, matching the registry's ``value <= boundary``
+    semantics.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        shown = _prom_value(value)
+        if shown is None:
+            continue
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {shown}")
+    for name, h in snapshot.get("histograms", {}).items():
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        counts = h.get("counts", [])
+        for boundary, count in zip(h.get("boundaries", []), counts):
+            cumulative += count
+            lines.append(f'{pname}_bucket{{le="{boundary}"}} {cumulative}')
+        cumulative += counts[-1] if len(counts) > len(h.get("boundaries", [])) else 0
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{pname}_sum {h.get('sum', 0.0)}")
+        lines.append(f"{pname}_count {h.get('count', 0)}")
+    return "\n".join(lines) + "\n"

@@ -268,3 +268,39 @@ class TestObservatoryCLI:
     def test_tail_missing_ledger(self, tmp_path, capsys):
         rc = main(["tail", str(tmp_path / "nope.ndjson")])
         assert rc == 2
+
+    def test_tail_json_is_machine_readable(self, campaign_file, capsys):
+        _, ledger = campaign_file
+        rc = main(["tail", str(ledger), "--json"])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines]  # every line parses
+        assert records[0]["kind"] == "campaign-start"
+        assert records[-1]["kind"] == "campaign-end"
+        assert sum(1 for r in records if r["kind"] == "cell") == 4
+        # stable key order per line (scripts can diff the stream)
+        assert all(list(r) == sorted(r) for r in records)
+
+    def test_watch_once_renders_dashboard(self, campaign_file, capsys):
+        _, ledger = campaign_file
+        rc = main(["watch", str(ledger), "--once", "--no-color"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign finished" in out
+        assert "4/4 cells" in out
+        assert "legend" in out
+
+    def test_watch_follows_to_completion_then_exits(
+        self, campaign_file, capsys
+    ):
+        _, ledger = campaign_file
+        rc = main(["watch", str(ledger), "--interval", "0.01", "--no-color"])
+        assert rc == 0  # finished source: one frame, clean exit
+        assert "campaign finished" in capsys.readouterr().out
+
+    def test_watch_needs_exactly_one_source(self, tmp_path, capsys):
+        assert main(["watch"]) == 2
+        assert main([
+            "watch", str(tmp_path / "x.ndjson"), "--url", "http://x/",
+        ]) == 2
+        assert main(["watch", str(tmp_path / "nope.ndjson")]) == 2

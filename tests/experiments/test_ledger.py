@@ -141,6 +141,42 @@ class TestRunLedger:
         with pytest.raises(ValueError):
             RunLedger()
 
+    def test_bus_only_ledger_publishes_every_record(self):
+        from repro.telemetry.bus import EventBus
+
+        bus = EventBus()
+        sub = bus.subscribe()
+        with RunLedger(bus=bus) as ledger:
+            ledger.campaign_start(total=1, meta={"seed": 7})
+            ledger.cell(
+                CellProgress(1, 1, (1, 8, 0), wall_s=0.5, ttc=9.0),
+                run=_run(), worker=5,
+            )
+            ledger.campaign_end(completed=1, errors=0, wall_s=0.5)
+        events = sub.drain()
+        assert [e["kind"] for e in events] == [
+            "campaign-start", "cell", "campaign-end",
+        ]
+        # cell records carry the attribution components for live views
+        assert events[1]["components"] == dict(_run().attribution)
+
+    def test_heartbeat_is_bus_only(self, tmp_path):
+        from repro.telemetry.bus import EventBus
+
+        path = str(tmp_path / "l.ndjson")
+        bus = EventBus()
+        sub = bus.subscribe()
+        with RunLedger(path, bus=bus) as ledger:
+            ledger.campaign_start(total=1, meta={})
+            ledger.heartbeat([(1, 8, 0)], workers=(42,))
+        pulses = [e for e in sub.drain() if e["kind"] == "heartbeat"]
+        assert len(pulses) == 1
+        assert pulses[0]["cells"] == [[1, 8, 0]]
+        assert pulses[0]["workers"] == [42]
+        # the durable file never sees the pulse
+        kinds = [r["kind"] for r in read_ledger(path)]
+        assert kinds == ["campaign-start"]
+
 
 class TestLedgerProgress:
     def _records(self):

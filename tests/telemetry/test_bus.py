@@ -1,0 +1,153 @@
+"""EventBus contract: fan-out, bounded queues, drop accounting, liveness."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry.bus import EventBus, Subscription
+
+
+def test_fanout_delivers_to_every_subscriber():
+    bus = EventBus()
+    a, b = bus.subscribe(), bus.subscribe()
+    bus.publish({"kind": "x", "i": 1})
+    bus.publish({"kind": "x", "i": 2})
+    assert [e["i"] for e in a.drain()] == [1, 2]
+    assert [e["i"] for e in b.drain()] == [1, 2]
+    assert bus.published == 2
+    assert bus.dropped == 0
+
+
+def test_subscribe_sees_only_future_events():
+    bus = EventBus()
+    bus.publish({"i": 0})
+    sub = bus.subscribe()
+    bus.publish({"i": 1})
+    assert [e["i"] for e in sub.drain()] == [1]
+
+
+def test_full_queue_drops_oldest_and_counts():
+    bus = EventBus()
+    sub = bus.subscribe(maxsize=3)
+    for i in range(10):
+        bus.publish({"i": i})
+    # the queue kept the *freshest* three; seven were shed.
+    assert [e["i"] for e in sub.drain()] == [7, 8, 9]
+    assert sub.dropped == 7
+    assert bus.dropped == 7
+    stats = bus.stats()
+    assert stats["published"] == 10
+    assert stats["queues"][0]["dropped"] == 7
+
+
+def test_slow_subscriber_does_not_stall_other_subscribers():
+    bus = EventBus()
+    slow = bus.subscribe(maxsize=1)
+    fast = bus.subscribe(maxsize=100)
+    for i in range(50):
+        bus.publish({"i": i})
+    assert len(fast.drain()) == 50
+    assert slow.dropped == 49
+    assert len(slow) == 1
+
+
+def test_publish_never_blocks_even_with_full_queues():
+    bus = EventBus()
+    bus.subscribe(maxsize=1)
+    t0 = time.monotonic()
+    for i in range(10_000):
+        bus.publish({"i": i})
+    # 10k publishes against a permanently-full queue in well under a
+    # second — the shed path is just a popleft, never a wait.
+    assert time.monotonic() - t0 < 1.0
+
+
+def test_get_blocks_until_publish():
+    bus = EventBus()
+    sub = bus.subscribe()
+    got = []
+
+    def consume():
+        got.append(sub.get(timeout=5.0))
+
+    t = threading.Thread(target=consume)
+    t.start()
+    time.sleep(0.05)
+    bus.publish({"i": 42})
+    t.join(timeout=5.0)
+    assert got == [{"i": 42}]
+
+
+def test_get_times_out_with_none():
+    sub = EventBus().subscribe()
+    t0 = time.monotonic()
+    assert sub.get(timeout=0.05) is None
+    assert time.monotonic() - t0 < 2.0
+
+
+def test_close_wakes_blocked_consumer_and_detaches():
+    bus = EventBus()
+    sub = bus.subscribe()
+    results = []
+
+    def consume():
+        results.append(sub.get(timeout=10.0))
+
+    t = threading.Thread(target=consume)
+    t.start()
+    time.sleep(0.05)
+    sub.close()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert results == [None]
+    assert bus.subscribers == 0
+    bus.publish({"i": 1})  # no-op against a closed subscription
+    assert len(sub) == 0
+
+
+def test_bus_close_detaches_everyone():
+    bus = EventBus()
+    subs = [bus.subscribe() for _ in range(3)]
+    bus.close()
+    assert bus.subscribers == 0
+    assert all(s.closed for s in subs)
+
+
+def test_closed_subscription_still_drains_backlog():
+    bus = EventBus()
+    sub = bus.subscribe()
+    bus.publish({"i": 1})
+    sub.close()
+    assert sub.get(timeout=0.0) == {"i": 1}
+    assert sub.get(timeout=0.0) is None
+
+
+def test_concurrent_publishers_lose_nothing_within_bounds():
+    bus = EventBus()
+    sub = bus.subscribe(maxsize=10_000)
+    n_threads, per_thread = 8, 500
+
+    def produce(tid):
+        for i in range(per_thread):
+            bus.publish({"tid": tid, "i": i})
+
+    threads = [
+        threading.Thread(target=produce, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    events = sub.drain()
+    assert len(events) == n_threads * per_thread
+    assert sub.dropped == 0
+    # per-publisher order is preserved through the shared queue
+    for tid in range(n_threads):
+        seq = [e["i"] for e in events if e["tid"] == tid]
+        assert seq == sorted(seq)
+
+
+def test_zero_maxsize_rejected():
+    with pytest.raises(ValueError):
+        Subscription(EventBus(), 0)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
 
 
 def test_counter_only_goes_up():
@@ -79,3 +85,38 @@ def test_snapshot_is_sorted_and_json_stable():
         "boundaries": [10.0], "counts": [1, 0], "sum": 3.0, "count": 1,
     }
     assert "counter" in reg.render_table()
+
+
+def test_render_table_aligns_long_metric_names():
+    reg = MetricsRegistry()
+    long_name = "scheduler.backfill.passes.with.a.very.long.dotted.name"
+    assert len(long_name) > 38
+    reg.counter(long_name).inc(3)
+    reg.counter("short").inc()
+    reg.gauge("mid.sized.gauge").set(1.0)
+    lines = reg.render_table().splitlines()
+    # every row's first separator sits in the same column, padded from
+    # the longest registered name — not the old hardcoded 38.
+    columns = {line.index(" | ") for line in lines if " | " in line}
+    assert columns == {len(long_name)}
+
+
+def test_render_prometheus_exposition():
+    reg = MetricsRegistry()
+    reg.counter("events.processed").inc(5)
+    reg.gauge("heap-size").set(7)
+    reg.gauge("label").set("text")  # non-numeric: skipped
+    reg.histogram("wait_s", (1.0, 2.0)).observe(0.5)
+    reg.histogram("wait_s", (1.0, 2.0)).observe(5.0)
+    text = render_prometheus(reg.snapshot(), prefix="repro")
+    assert "# TYPE repro_events_processed counter" in text
+    assert "repro_events_processed 5" in text
+    assert "repro_heap_size 7" in text  # [.-] sanitized to _
+    assert "label" not in text
+    # cumulative le buckets + sum/count
+    assert 'repro_wait_s_bucket{le="1.0"} 1' in text
+    assert 'repro_wait_s_bucket{le="2.0"} 1' in text
+    assert 'repro_wait_s_bucket{le="+Inf"} 2' in text
+    assert "repro_wait_s_sum 5.5" in text
+    assert "repro_wait_s_count 2" in text
+    assert text.endswith("\n")
